@@ -1,0 +1,159 @@
+// Command ppasim runs one application under one persistence scheme and
+// prints the headline metrics: cycles, IPC, region characteristics, stall
+// breakdown, and memory-system counters.
+//
+// Usage:
+//
+//	ppasim -app mcf -scheme ppa -insts 200000
+//	ppasim -app all -scheme baseline,ppa,capri
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"ppa"
+	"ppa/internal/multicore"
+	"ppa/internal/persist"
+	"ppa/internal/workload"
+)
+
+func schemeByName(name string) (persist.Config, error) {
+	switch name {
+	case "baseline":
+		return persist.BaselineDefault(), nil
+	case "ppa":
+		return persist.PPADefault(), nil
+	case "replaycache":
+		return persist.ReplayCacheDefault(), nil
+	case "capri":
+		return persist.CapriDefault(), nil
+	case "eadr":
+		return persist.EADRDefault(), nil
+	case "dram-only", "dramonly":
+		return persist.DRAMOnlyDefault(), nil
+	default:
+		return persist.Config{}, fmt.Errorf("unknown scheme %q (baseline|ppa|replaycache|capri|eadr|dram-only)", name)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppasim: ")
+
+	appFlag := flag.String("app", "mcf", "application name from the 41-app suite, or 'all'")
+	schemeFlag := flag.String("scheme", "baseline,ppa", "comma-separated schemes to run")
+	insts := flag.Int("insts", 200_000, "dynamic instructions per thread")
+	verbose := flag.Bool("v", false, "print stall breakdown and memory counters")
+	configPath := flag.String("config", "", "JSON machine-config override file (see ppa.DefaultMachineConfigJSON)")
+	dumpConfig := flag.Bool("dump-config", false, "print the default machine config as JSON and exit")
+	flag.Parse()
+
+	if *dumpConfig {
+		blob, err := ppa.DefaultMachineConfigJSON(8, ppa.SchemePPA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+	var customize func(*multicore.Config)
+	if *configPath != "" {
+		c, err := ppa.MachineCustomizerFromFile(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		customize = c
+	}
+
+	var profiles []workload.Profile
+	if *appFlag == "all" {
+		profiles = workload.Profiles()
+	} else {
+		p, err := workload.ByName(*appFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	var schemes []persist.Config
+	for _, name := range strings.Split(*schemeFlag, ",") {
+		s, err := schemeByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		schemes = append(schemes, s)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tscheme\tcycles\tIPC\tregions\tavg-len\tavg-stores\tregion-stall%\tslowdown")
+	var baseCycles map[string]uint64 = map[string]uint64{}
+	for _, p := range profiles {
+		for _, s := range schemes {
+			res, err := runOne(p, s, *insts, customize)
+			if err != nil {
+				log.Fatalf("%s/%s: %v", p.Name, s.Kind, err)
+			}
+			slow := "-"
+			if s.Kind == persist.Baseline {
+				baseCycles[p.Name] = res.Cycles
+			} else if b, ok := baseCycles[p.Name]; ok && b > 0 {
+				slow = fmt.Sprintf("%.3f", float64(res.Cycles)/float64(b))
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%d\t%.0f\t%.1f\t%.2f%%\t%s\n",
+				p.Name, s.Kind, res.Cycles, res.IPC(),
+				totalRegions(res), res.AvgRegionLen(), res.AvgRegionStores(),
+				res.RegionEndStallFrac()*100, slow)
+			if *verbose {
+				printVerbose(res)
+			}
+		}
+	}
+	tw.Flush()
+}
+
+// runOne builds and runs one simulation with the optional config override.
+func runOne(p workload.Profile, s persist.Config, insts int, customize func(*multicore.Config)) (*multicore.Result, error) {
+	w, err := workload.New(p, insts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := multicore.DefaultConfig(len(w.Threads), s)
+	if customize != nil {
+		customize(&cfg)
+	}
+	sys, err := multicore.NewSystem(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(uint64(insts)*4000 + 1_000_000); err != nil {
+		return nil, err
+	}
+	return sys.Collect(), nil
+}
+
+func totalRegions(res *multicore.Result) uint64 {
+	var n uint64
+	for _, st := range res.PerCore {
+		n += st.Regions
+	}
+	return n
+}
+
+func printVerbose(res *multicore.Result) {
+	fmt.Printf("  # L2 miss %.1f%%  DRAM$ miss %.1f%%  NVM reads %d  NVM line writes %d (wpq-coal %d, rejected %d, avg-occ %.1f)  WB lines %d (coalesced stores %d)\n",
+		res.L2MissRate*100, res.DRAMCacheMissRate*100,
+		res.NVMReads, res.NVMLineWrites, res.NVMWPQCoalesced, res.NVMRejectedFull,
+		res.NVMAvgWPQOccupancy, res.WBEnqueuedLines, res.WBCoalescedStores)
+	for i, st := range res.PerCore {
+		fmt.Printf("  # core %d: insts %d stores %d rob-full %d sq-full %d wb-full %d redo-full %d rename-noreg %d region-stall %d frontend %d sync %d csq-max %d\n",
+			i, st.Insts, st.Stores, st.ROBFullStalls, st.SQFullStalls, st.WBFullStalls,
+			st.RedoFullStalls, st.RenameNoRegStalls, st.RegionEndStalls, st.FrontendStalls,
+			st.SyncStalls, st.CSQMaxDepth)
+	}
+}

@@ -1,0 +1,54 @@
+// Command ppaworkload characterizes the 41-application workload suite the
+// way the paper's workload sections do: instruction mix, memory-system
+// behaviour on the memory-mode baseline, and region behaviour under PPA.
+//
+// Usage:
+//
+//	ppaworkload                 # all 41 applications
+//	ppaworkload -app mcf        # one application
+//	ppaworkload -insts 100000   # higher resolution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ppa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppaworkload: ")
+	app := flag.String("app", "", "application to characterize (default: all)")
+	insts := flag.Int("insts", 30_000, "dynamic instructions per thread")
+	flag.Parse()
+
+	var rows []*ppa.Characterization
+	if *app != "" {
+		c, err := ppa.Characterize(*app, *insts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, c)
+	} else {
+		var err error
+		rows, err = ppa.CharacterizeAll(*insts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tsuite\tthr\tfootprint\tld%\tst%\tbr%\tIPC\tL2miss\tDRAM$miss\tNVMrd/kI\tregion\tst/region\tstall%\tPPA slow")
+	for _, c := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%dMB\t%.1f\t%.1f\t%.1f\t%.2f\t%.1f%%\t%.1f%%\t%.1f\t%.0f\t%.1f\t%.2f\t%.3f\n",
+			c.App, c.Suite, c.Threads, c.Footprint>>20,
+			c.LoadPct, c.StorePct, c.BranchPct,
+			c.IPC, c.L2MissRate*100, c.DRAMCacheMissRate*100, c.NVMReadsPerKInst,
+			c.RegionLen, c.RegionStores, c.RegionStallPct, c.PPASlowdown)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,54 @@
+package ppa
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSON machine configuration: every knob of the simulated machine (Table 2
+// and beyond) can be captured in, or overridden from, a JSON document.
+// Unmarshalling applies on top of the defaults, so a config file needs to
+// mention only the fields it changes:
+//
+//	{"NVM": {"WPQEntries": 8}, "Pipeline": {"ROBSize": 128}}
+
+// MarshalMachineConfig renders a machine configuration as indented JSON.
+func MarshalMachineConfig(cfg *MachineConfig) ([]byte, error) {
+	return json.MarshalIndent(cfg, "", "  ")
+}
+
+// MachineCustomizer parses a JSON override document and returns a
+// Customize hook that applies it on top of whatever defaults the run
+// assembles.
+func MachineCustomizer(data []byte) (func(*MachineConfig), error) {
+	// Validate the document eagerly so errors surface at load time.
+	var probe MachineConfig
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("ppa: bad machine config: %w", err)
+	}
+	return func(cfg *MachineConfig) {
+		// Unmarshal onto the assembled defaults: absent fields keep them.
+		_ = json.Unmarshal(data, cfg)
+	}, nil
+}
+
+// MachineCustomizerFromFile loads a JSON override document from disk.
+func MachineCustomizerFromFile(path string) (func(*MachineConfig), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return MachineCustomizer(data)
+}
+
+// DefaultMachineConfigJSON returns the fully assembled Table 2 machine for
+// n cores under a scheme as JSON — a template for override files.
+func DefaultMachineConfigJSON(n int, scheme Scheme) ([]byte, error) {
+	sch, err := SchemeConfig(scheme)
+	if err != nil {
+		return nil, err
+	}
+	cfg := defaultMachine(n, sch)
+	return MarshalMachineConfig(&cfg)
+}

@@ -1,0 +1,54 @@
+// Quickstart: run one application under PPA and under the memory-mode
+// baseline, and print the headline numbers — the run-time overhead of
+// whole-system persistence and the region characteristics behind it.
+//
+//	go run ./examples/quickstart [app]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ppa"
+)
+
+func main() {
+	log.SetFlags(0)
+	app := "mcf"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+
+	fmt.Printf("Running %q on PMEM memory mode (baseline, no persistence)...\n", app)
+	base, err := ppa.Run(ppa.RunConfig{App: app, Scheme: ppa.SchemeBaseline})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Running %q under PPA (whole-system persistence)...\n\n", app)
+	res, err := ppa.Run(ppa.RunConfig{App: app, Scheme: ppa.SchemePPA})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	slowdown := float64(res.Cycles) / float64(base.Cycles)
+	fmt.Printf("baseline: %10d cycles  (IPC %.2f)\n", base.Cycles, base.IPC())
+	fmt.Printf("PPA:      %10d cycles  (IPC %.2f)\n", res.Cycles, res.IPC())
+	fmt.Printf("\nwhole-system persistence cost: %.1f%%\n", (slowdown-1)*100)
+	fmt.Printf("\nPPA region formation:\n")
+	fmt.Printf("  regions formed:        %d\n", totalRegions(res))
+	fmt.Printf("  avg region length:     %.0f instructions (%.1f stores)\n",
+		res.AvgRegionLen(), res.AvgRegionStores())
+	fmt.Printf("  region-end stalls:     %.2f%% of cycles\n", res.RegionEndStallFrac()*100)
+	fmt.Printf("  NVM line writes:       %d (persist coalescing absorbed %d stores)\n",
+		res.NVMLineWrites, res.WBCoalescedStores)
+}
+
+func totalRegions(res *ppa.Result) uint64 {
+	var n uint64
+	for _, st := range res.PerCore {
+		n += st.Regions
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+// Sensitivity study through the public API: sweep the physical register
+// file (Figure 16's experiment) for one application and watch the
+// mechanics the paper describes — smaller files form shorter store-
+// integrity regions, which hide less persistence latency.
+//
+//	go run ./examples/sensitivity [app]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ppa"
+)
+
+func main() {
+	log.SetFlags(0)
+	app := "hmmer"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+
+	configs := []struct {
+		label   string
+		intRegs int
+		fpRegs  int
+	}{
+		{"RF-80/80", 80, 80},
+		{"RF-120/120", 120, 120},
+		{"RF-180/168 (default)", 180, 168},
+		{"Icelake-280/224", 280, 224},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tslowdown\tavg region\tstores/region\tregion-end stalls")
+	for _, c := range configs {
+		customize := func(cfg *ppa.MachineConfig) {
+			cfg.Pipeline.Rename.IntPhysRegs = c.intRegs
+			cfg.Pipeline.Rename.FPPhysRegs = c.fpRegs
+		}
+		base, err := ppa.Run(ppa.RunConfig{App: app, Scheme: ppa.SchemeBaseline, Customize: customize})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ppa.Run(ppa.RunConfig{App: app, Scheme: ppa.SchemePPA, Customize: customize})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.0f insts\t%.1f\t%.2f%%\n",
+			c.label,
+			float64(res.Cycles)/float64(base.Cycles),
+			res.AvgRegionLen(), res.AvgRegionStores(),
+			res.RegionEndStallFrac()*100)
+	}
+	tw.Flush()
+	fmt.Println("\nSmaller register files exhaust the free list sooner: regions shrink,")
+	fmt.Println("persist barriers arrive more often, and less latency hides behind ILP —")
+	fmt.Println("exactly the Figure 16 trend. Beyond the default size the benefit saturates.")
+}

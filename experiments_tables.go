@@ -1,0 +1,166 @@
+package ppa
+
+import (
+	"fmt"
+	"strings"
+
+	"ppa/internal/cache"
+	"ppa/internal/checkpoint"
+	"ppa/internal/hwcost"
+	"ppa/internal/nvm"
+	"ppa/internal/pipeline"
+	"ppa/internal/workload"
+)
+
+// This file regenerates the paper's tables: the qualitative comparison
+// matrices (Tables 1 and 6), the machine configuration (Table 2), the
+// workload inputs (Table 3), the hardware cost estimates (Table 4), and
+// the JIT-flush energy comparison (Table 5 and Section 7.13's
+// checkpointing time analysis).
+
+// Table1Row compares CLWB-based persistence with PPA's asynchronous
+// writeback (Table 1).
+type Table1Row struct {
+	Mechanism          string
+	StoreQueueOccupied bool
+	SingleStoreTrack   bool
+	Snooping           bool
+	ReachesNVM         bool
+}
+
+// Table1 returns the published property matrix.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{Mechanism: "CLWB in x86", StoreQueueOccupied: true, SingleStoreTrack: true, Snooping: true, ReachesNVM: false},
+		{Mechanism: "PPA", StoreQueueOccupied: false, SingleStoreTrack: false, Snooping: false, ReachesNVM: true},
+	}
+}
+
+// Table2 renders the simulated machine's configuration, mirroring the
+// paper's Table 2. It reads the live defaults so the table cannot drift
+// from the implementation.
+func Table2() string {
+	hp := cache.DefaultParams(8)
+	nc := nvm.DefaultConfig()
+	pc := pipeline.DefaultConfig(mustScheme(SchemePPA))
+	var b strings.Builder
+	w := func(k, v string) { fmt.Fprintf(&b, "%-18s %s\n", k, v) }
+	w("Processor", fmt.Sprintf("8-core %d-width x86-like OoO at 2GHz", pc.Width))
+	w("", fmt.Sprintf("ROB/SQ/LQ: %d/%d/%d, INT/FP PRF: %d/%d (unified)",
+		pc.ROBSize, pc.SQSize, pc.LQSize, pc.Rename.IntPhysRegs, pc.Rename.FPPhysRegs))
+	w("L1D", fmt.Sprintf("private %dKB, %d-way, 64B block, %d cycles, write back",
+		hp.L1DSize>>10, hp.L1DWays, hp.L1DLat))
+	w("L2", fmt.Sprintf("shared %dMB, %d-way, 64B block, inclusive, %d cycles, write back",
+		hp.L2Size>>20, hp.L2Ways, hp.L2Lat))
+	w("DRAM Cache (LLC)", fmt.Sprintf("shared direct-mapped, %dGB, ~%d cycles",
+		hp.DRAMCacheSize>>30, hp.DRAMLat))
+	w("PMEM", fmt.Sprintf("read %d cycles (175ns), %d-entry WPQ x%d MCs, %.1fGB/s write BW per MC",
+		nc.ReadLatency, nc.WPQEntries, nc.Channels, 2.0*64/float64(nc.WriteDrainCycles)))
+	w("CSQ", fmt.Sprintf("%d-entry FIFO queue", mustScheme(SchemePPA).CSQEntries))
+	return b.String()
+}
+
+func mustScheme(s Scheme) PersistConfig {
+	cfg, err := SchemeConfig(s)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// Table3Row describes one Mini-app/WHISPER input (Table 3).
+type Table3Row struct {
+	App         string
+	Description string
+	FootprintMB uint64
+	Threads     int
+}
+
+// Table3 returns the workload inputs as configured in the profiles.
+func Table3() []Table3Row {
+	descriptions := map[string]string{
+		"lulesh":  "High instruction and memory-level parallelism.",
+		"xsbench": "Stress memory system with little computation.",
+		"pc":      "Update in hash-table.",
+		"rb":      "Insert/delete nodes in a red-black tree.",
+		"sps":     "Swap random entries of an array.",
+		"tatp":    "update_location transaction.",
+		"tpcc":    "add_new_order transaction.",
+		"r20w80":  "Memcached with 20% reads and 80% writes.",
+		"r50w50":  "Memcached with 50% reads and 50% writes.",
+	}
+	var out []Table3Row
+	for _, p := range workload.Profiles() {
+		desc, ok := descriptions[p.Name]
+		if !ok {
+			continue
+		}
+		out = append(out, Table3Row{
+			App:         p.Name,
+			Description: desc,
+			FootprintMB: p.FootprintBytes >> 20,
+			Threads:     p.Threads,
+		})
+	}
+	return out
+}
+
+// Table4 returns the hardware cost of PPA's three structures (area,
+// access latency, dynamic access energy) from the fitted 22nm model.
+func Table4() []hwcost.Cost { return hwcost.Table4() }
+
+// Table4ArealOverhead returns PPA's total areal overhead versus the server
+// core (the 0.005% headline).
+func Table4ArealOverhead() float64 { return hwcost.ArealOverhead(hwcost.Table4()) }
+
+// Table5Result carries the JIT-flush energy comparison plus the
+// Section 7.13 checkpoint timing analysis.
+type Table5Result struct {
+	Rows []hwcost.FlushEnergy
+	// WorstCaseBytes is PPA's worst-case checkpoint size (paper: 1838 B).
+	WorstCaseBytes int
+	// ReadTimeNS is the controller's time to stream the checkpoint out of
+	// the five structures (paper: 114.9 ns).
+	ReadTimeNS float64
+	// FlushTimeUS is the time to push it into PMEM at the write bandwidth
+	// (paper: ~0.9 us).
+	FlushTimeUS float64
+	// ControllerFlipFlops/Gates are the synthesized controller's size.
+	ControllerFlipFlops int
+	ControllerGates     int
+}
+
+// Table5 computes the comparison using the checkpoint cost model.
+func Table5() *Table5Result {
+	m := checkpoint.DefaultCostModel()
+	bytes := m.WorstCaseBytes(40, 16, 32, 180, 168)
+	return &Table5Result{
+		Rows:                hwcost.Table5(bytes),
+		WorstCaseBytes:      bytes,
+		ReadTimeNS:          m.ReadTimeNS(bytes),
+		FlushTimeUS:         m.FlushTimeUS(bytes),
+		ControllerFlipFlops: checkpoint.ControllerFlipFlops,
+		ControllerGates:     checkpoint.ControllerGates,
+	}
+}
+
+// Table6Row compares whole-system-persistence schemes (Table 6).
+type Table6Row struct {
+	Scheme             string
+	HardwareComplexity string
+	EnergyRequirement  string
+	Recompilation      bool
+	Transparency       bool
+	EnableDRAMCache    bool
+	EnableMultiMCs     bool
+}
+
+// Table6 returns the published WSP comparison matrix.
+func Table6() []Table6Row {
+	return []Table6Row{
+		{Scheme: "WSP (Narayanan)", HardwareComplexity: "No", EnergyRequirement: "Extremely High", Recompilation: false, Transparency: true, EnableDRAMCache: true, EnableMultiMCs: true},
+		{Scheme: "Capri", HardwareComplexity: "Extremely High", EnergyRequirement: "High", Recompilation: true, Transparency: true, EnableDRAMCache: true, EnableMultiMCs: false},
+		{Scheme: "ReplayCache", HardwareComplexity: "High", EnergyRequirement: "Low", Recompilation: true, Transparency: true, EnableDRAMCache: false, EnableMultiMCs: true},
+		{Scheme: "PPA", HardwareComplexity: "Low", EnergyRequirement: "Low", Recompilation: false, Transparency: true, EnableDRAMCache: true, EnableMultiMCs: true},
+	}
+}

@@ -1,0 +1,90 @@
+package ppa
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV exporters: plot-ready renderings of the experiment results, used by
+// cmd/ppabench's -csv flag so the figures can be regenerated in any
+// plotting tool.
+
+// WriteSeriesCSV writes per-application series (one column per series plus
+// a trailing gmean row) as CSV.
+func WriteSeriesCSV(w io.Writer, series ...Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("ppa: no series to export")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"app", "suite"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, v := range series[0].Values {
+		row := []string{v.App, v.Suite}
+		for _, s := range series {
+			if i >= len(s.Values) {
+				return fmt.Errorf("ppa: series %q is shorter than %q", s.Label, series[0].Label)
+			}
+			row = append(row, formatF(s.Values[i].Value))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	row := []string{"gmean", ""}
+	for _, s := range series {
+		row = append(row, formatF(s.GMean))
+	}
+	if err := cw.Write(row); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepCSV writes a configuration sweep: one row per (config, app)
+// pair plus per-config gmean rows.
+func WriteSweepCSV(w io.Writer, pts []SweepPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "app", "suite", "slowdown"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		for _, v := range p.PerApp {
+			if err := cw.Write([]string{p.Label, v.App, v.Suite, formatF(v.Value)}); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write([]string{p.Label, "gmean", "", formatF(p.GMean)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCDFCSV writes per-suite CDF points (Figure 5).
+func WriteCDFCSV(w io.Writer, class string, series []CDFSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"class", "suite", "free_regs", "cumulative_p"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			row := []string{class, s.Suite, strconv.Itoa(p.Value), formatF(p.P)}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(f float64) string { return strconv.FormatFloat(f, 'f', 6, 64) }

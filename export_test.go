@@ -1,0 +1,73 @@
+package ppa
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func sampleSeries() Series {
+	return newSeries("PPA", []AppValue{
+		{App: "mcf", Suite: "CPU2006", Value: 1.01},
+		{App: "lbm", Suite: "CPU2006", Value: 1.05},
+	})
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSeriesCSV(&sb, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 2 apps + gmean
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0][2] != "PPA" || rows[1][0] != "mcf" || rows[3][0] != "gmean" {
+		t.Fatalf("layout wrong: %v", rows)
+	}
+}
+
+func TestWriteSeriesCSVMismatch(t *testing.T) {
+	long := sampleSeries()
+	short := newSeries("x", []AppValue{{App: "mcf", Value: 1}})
+	var sb strings.Builder
+	if err := WriteSeriesCSV(&sb, long, short); err == nil {
+		t.Fatal("mismatched series must error")
+	}
+	if err := WriteSeriesCSV(&sb); err == nil {
+		t.Fatal("empty export must error")
+	}
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	pts := []SweepPoint{{
+		Label:  "WPQ-8",
+		PerApp: []AppValue{{App: "mcf", Suite: "CPU2006", Value: 1.02}},
+		GMean:  1.02,
+	}}
+	var sb strings.Builder
+	if err := WriteSweepCSV(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[2][1] != "gmean" {
+		t.Fatalf("missing gmean row: %v", rows)
+	}
+}
+
+func TestWriteCDFCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCDFCSV(&sb, "int", []CDFSeries{{Suite: "CPU2006"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "class,suite,free_regs,cumulative_p") {
+		t.Fatalf("header wrong: %q", sb.String())
+	}
+}

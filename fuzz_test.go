@@ -1,0 +1,102 @@
+package ppa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomProfile draws a random valid workload profile — the fuzz surface
+// for whole-simulator robustness properties.
+func randomProfile(rng *rand.Rand) WorkloadProfile {
+	p := WorkloadProfile{
+		Name:               "fuzz",
+		Suite:              "fuzz",
+		LoadRatio:          0.05 + rng.Float64()*0.30,
+		StoreRatio:         0.02 + rng.Float64()*0.18,
+		BranchRatio:        0.05 + rng.Float64()*0.15,
+		FPRatio:            rng.Float64() * 0.8,
+		MulRatio:           rng.Float64() * 0.3,
+		CmpRatio:           rng.Float64() * 0.8,
+		DepDistance:        1 + rng.Intn(16),
+		HotFraction:        0.2 + rng.Float64()*0.6,
+		WarmFraction:       rng.Float64() * 0.3,
+		HotBytes:           uint64(1+rng.Intn(512)) << 10,
+		WarmBytes:          uint64(1+rng.Intn(64)) << 20,
+		FootprintBytes:     uint64(8+rng.Intn(256)) << 20,
+		StoreStreamBias:    rng.Float64() * 0.5,
+		StackStoreFraction: rng.Float64() * 0.7,
+		StackBytes:         uint64(64+rng.Intn(1024)) &^ 7,
+		StoreHotBias:       rng.Float64(),
+		StoreHotBytes:      uint64(1+rng.Intn(32)) << 10,
+		Seed:               rng.Int63(),
+	}
+	if rng.Intn(3) == 0 {
+		p.Threads = 2 + rng.Intn(3)
+		p.SyncEvery = 500 + rng.Intn(4000)
+		p.SyncContention = rng.Float64() * 2
+	}
+	if rng.Intn(4) == 0 {
+		p.SyscallEvery = 800 + rng.Intn(4000)
+		p.KernelBurstLen = 20 + rng.Intn(200)
+	}
+	if p.HotFraction+p.WarmFraction > 0.99 {
+		p.WarmFraction = 0.99 - p.HotFraction
+	}
+	return p
+}
+
+// TestFuzzProfilesCompleteEverywhere: any valid profile must run to
+// completion under every scheme without wedging the machine.
+func TestFuzzProfilesCompleteEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	f := func(_ uint8) bool {
+		p := randomProfile(rng)
+		for _, scheme := range []Scheme{SchemeBaseline, SchemePPA, SchemeCapri, SchemeSBGate} {
+			res, err := Run(RunConfig{Profile: &p, Scheme: scheme, InstsPerThread: 2500})
+			if err != nil {
+				t.Logf("%s: %v (profile %+v)", scheme, err, p)
+				return false
+			}
+			if res.Insts == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzCrashConsistency: any valid profile, crashed at a random cycle
+// under PPA, must recover consistently.
+func TestFuzzCrashConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(777))
+	f := func(_ uint8) bool {
+		p := randomProfile(rng)
+		fail := 500 + uint64(rng.Intn(20000))
+		out, err := RunWithFailure(RunConfig{Profile: &p, Scheme: SchemePPA, InstsPerThread: 4000}, fail)
+		if err != nil {
+			t.Logf("error: %v", err)
+			return false
+		}
+		if out.CompletedBeforeFailure {
+			return true
+		}
+		if !out.Consistent {
+			t.Logf("profile %+v fail@%d lost %d words", p, fail, out.Inconsistencies)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ppa
+
+go 1.22

@@ -1,0 +1,729 @@
+package cache
+
+import (
+	"fmt"
+
+	"ppa/internal/isa"
+	"ppa/internal/nvm"
+)
+
+// Mode selects the memory organization below the SRAM caches.
+type Mode int
+
+const (
+	// MemoryMode is PMEM's memory mode: a direct-mapped DRAM cache in
+	// front of NVM (the paper's baseline and PPA's home configuration).
+	MemoryMode Mode = iota
+	// DRAMOnly is a conventional volatile system: DRAM main memory, no
+	// NVM (the Figure 9 reference).
+	DRAMOnly
+	// AppDirect is PSP's app-direct mode: NVM is main memory, DRAM is not
+	// a cache (the Figure 10 eADR/BBB configuration).
+	AppDirect
+)
+
+func (m Mode) String() string {
+	switch m {
+	case MemoryMode:
+		return "memory-mode"
+	case DRAMOnly:
+		return "dram-only"
+	case AppDirect:
+		return "app-direct"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Params configures the hierarchy. Latencies are cumulative load-to-use
+// cycles for a hit at that level.
+type Params struct {
+	Mode  Mode
+	Cores int
+
+	L1DSize uint64 // bytes (Table 2: 64 KB)
+	L1DWays int
+	L1DLat  int // 4 cycles
+
+	L2Size uint64 // bytes (Table 2: 16 MB shared)
+	L2Ways int
+	L2Lat  int // 44 cycles
+
+	// UseL3 switches to the Figure 14 organization: private 1 MB L2 per
+	// core (L2PrivLat) plus a shared L3 of L2Size/L2Ways at L3Lat.
+	UseL3     bool
+	L2PrivSz  uint64
+	L2PrivLat int
+	L3Lat     int
+
+	DRAMCacheSize uint64 // bytes (Table 2: 4 GB)
+	DRAMLat       int    // DRAM access latency (~96-140 cycles)
+	DRAMOccup     int    // DRAM device occupancy per line (bandwidth)
+
+	// Write buffer (async persist path, per core).
+	WBEntries int // entries in the L1D write buffer
+	// PersistTransit is the minimum latency from L1D merge to WPQ-accept
+	// eligibility (core-to-memory-controller transit).
+	PersistTransit int
+	// PersistLag additionally delays lazy writeback of a pending line so
+	// nearby stores coalesce into it (the Section 4.3 persist coalescing
+	// window). A region boundary flushes pending lines immediately, so lag
+	// trades steady-state write traffic against nothing but boundary-flush
+	// length.
+	PersistLag int
+
+	// CoalesceWB enables persist coalescing in the write buffer
+	// (Section 4.3); disabling it is an ablation.
+	CoalesceWB bool
+
+	// CoherenceInvalidateLat is the extra latency charged to a store whose
+	// line is present in another core's L1D.
+	CoherenceInvalidateLat int
+}
+
+// DefaultParams returns the Table 2 hierarchy for n cores.
+func DefaultParams(n int) Params {
+	return Params{
+		Mode:                   MemoryMode,
+		Cores:                  n,
+		L1DSize:                64 << 10,
+		L1DWays:                8,
+		L1DLat:                 4,
+		L2Size:                 16 << 20,
+		L2Ways:                 16,
+		L2Lat:                  44,
+		L2PrivSz:               1 << 20,
+		L2PrivLat:              14,
+		L3Lat:                  44,
+		DRAMCacheSize:          4 << 30,
+		DRAMLat:                120,
+		DRAMOccup:              7,
+		WBEntries:              1024, // one needs-persist slot per L1D line
+		PersistTransit:         120,
+		PersistLag:             600,
+		CoalesceWB:             true,
+		CoherenceInvalidateLat: 20,
+	}
+}
+
+// wbEntry is one pending asynchronous persist in the L1D write buffer.
+type wbEntry struct {
+	seq    int64 // absolute append sequence, for ack tokens
+	line   uint64
+	words  map[uint64]uint64
+	ready  uint64 // cycle at which it may enter the WPQ
+	stores int    // coalesced store count (for the persist counter)
+}
+
+// writeBuffer is the per-core persist path between L1D and the WPQ. Its
+// capacity is the L1D's line count: the hardware realization is a
+// needs-persist bit per L1D line plus the Section 4.3 counter, so the
+// "buffer" can never outgrow the cache. A store to a line that already has
+// a pending persist coalesces into it — under write-bandwidth pressure the
+// queue deepens, residency grows, and coalescing rises, which is exactly
+// the self-limiting behaviour persist coalescing provides.
+type writeBuffer struct {
+	entries  []wbEntry
+	index    map[uint64]int64 // line -> entry seq (when coalescing)
+	cap      int
+	pending  int // outstanding (unacked) stores — the Section 4.3 counter
+	coalesce bool
+
+	appended int64 // entries ever appended
+	popped   int64 // entries ever accepted into the WPQ
+
+	CoalescedStores uint64
+	EnqueuedLines   uint64
+	MaxDepth        int
+}
+
+func newWriteBuffer(capEntries int, coalesce bool) *writeBuffer {
+	if capEntries <= 0 {
+		capEntries = 1
+	}
+	return &writeBuffer{cap: capEntries, coalesce: coalesce, index: make(map[uint64]int64)}
+}
+
+func (w *writeBuffer) full() bool { return len(w.entries) >= w.cap }
+
+// at returns the queued entry with the given seq; entries are FIFO with
+// consecutive seqs, so its position is seq - popped.
+func (w *writeBuffer) at(seq int64) *wbEntry { return &w.entries[seq-w.popped] }
+
+// add enqueues one store's persist; it returns the ack token of the entry
+// carrying the store and ok=false when the buffer is full and nothing
+// could coalesce.
+func (w *writeBuffer) add(line, addr, val uint64, ready uint64) (token int64, ok bool) {
+	if w.coalesce {
+		if seq, hit := w.index[line]; hit {
+			e := w.at(seq)
+			e.words[addr] = val
+			e.stores++
+			w.pending++
+			w.CoalescedStores++
+			return seq, true
+		}
+	}
+	if w.full() {
+		return 0, false
+	}
+	seq := w.appended
+	w.appended++
+	w.entries = append(w.entries, wbEntry{
+		seq:    seq,
+		line:   line,
+		words:  map[uint64]uint64{addr: val},
+		ready:  ready,
+		stores: 1,
+	})
+	if w.coalesce {
+		w.index[line] = seq
+	}
+	if len(w.entries) > w.MaxDepth {
+		w.MaxDepth = len(w.entries)
+	}
+	w.pending++
+	w.EnqueuedLines++
+	return seq, true
+}
+
+// pop removes the front entry after WPQ acceptance.
+func (w *writeBuffer) pop() {
+	front := w.entries[0]
+	w.entries = w.entries[1:]
+	w.popped++
+	if w.coalesce {
+		delete(w.index, front.line)
+	}
+}
+
+// acked reports whether the entry with the given token has entered the WPQ.
+func (w *writeBuffer) acked(token int64) bool { return token < w.popped }
+
+// evictionBuf is the memory-controller-side queue of dirty lines on their
+// way to NVM. It is volatile: a power failure drops it.
+type evictionBuf struct {
+	lines []evictEntry
+}
+
+type evictEntry struct {
+	line  uint64
+	words map[uint64]uint64
+}
+
+// Hierarchy is the full memory system shared by all cores.
+type Hierarchy struct {
+	p   Params
+	dev *nvm.Device
+
+	l1    []*setAssoc // per core
+	l2    *setAssoc   // shared L2 (or nil when UseL3)
+	l2p   []*setAssoc // private L2s (UseL3 organization)
+	l3    *setAssoc   // shared L3 (UseL3 organization)
+	dramc *dramCache  // memory mode only
+
+	// volatile latest values of written-but-not-durable words
+	dirtyWords map[uint64]uint64
+
+	wbs    []*writeBuffer
+	evictq evictionBuf
+	wbNext int // round-robin pointer for WB draining
+
+	// warmResident classifies addresses whose backing lines are assumed
+	// DRAM-cache-resident from long before the simulation window;
+	// l2Resident does the same for the SRAM LLC (small hot working sets).
+	warmResident func(uint64) bool
+	l2Resident   func(uint64) bool
+
+	// Statistics.
+	NVMWritebacks  uint64
+	DRAMWritebacks uint64
+	Invalidations  uint64
+}
+
+// New builds the hierarchy over the given NVM device. warmResident and
+// l2Resident may be nil (no pre-warmed regions).
+func New(p Params, dev *nvm.Device, warmResident, l2Resident func(uint64) bool) *Hierarchy {
+	if p.Cores <= 0 {
+		p.Cores = 1
+	}
+	h := &Hierarchy{
+		p:            p,
+		dev:          dev,
+		dirtyWords:   make(map[uint64]uint64),
+		warmResident: warmResident,
+		l2Resident:   l2Resident,
+	}
+	h.l1 = make([]*setAssoc, p.Cores)
+	for i := range h.l1 {
+		h.l1[i] = newSetAssoc(p.L1DSize, p.L1DWays)
+	}
+	if p.UseL3 {
+		h.l2p = make([]*setAssoc, p.Cores)
+		for i := range h.l2p {
+			h.l2p[i] = newSetAssoc(p.L2PrivSz, p.L2Ways)
+		}
+		h.l3 = newSetAssoc(p.L2Size, p.L2Ways)
+	} else {
+		h.l2 = newSetAssoc(p.L2Size, p.L2Ways)
+	}
+	if p.Mode == MemoryMode {
+		h.dramc = newDRAMCache(p.DRAMCacheSize)
+	}
+	h.wbs = make([]*writeBuffer, p.Cores)
+	for i := range h.wbs {
+		h.wbs[i] = newWriteBuffer(p.WBEntries, p.CoalesceWB)
+	}
+	return h
+}
+
+// Params returns the hierarchy configuration.
+func (h *Hierarchy) Params() Params { return h.p }
+
+// Device returns the underlying NVM device.
+func (h *Hierarchy) Device() *nvm.Device { return h.dev }
+
+// ReadWord returns the current (volatile-latest) value of a word.
+func (h *Hierarchy) ReadWord(addr uint64) uint64 {
+	a := isa.WordAlign(addr)
+	if v, ok := h.dirtyWords[a]; ok {
+		return v
+	}
+	return h.dev.ReadWord(a)
+}
+
+// dramAccess models one DRAM device transfer and returns its finish cycle.
+// DRAM bandwidth is ample relative to our request rates, and serializing
+// out-of-order-issued future requests on a scalar clock would create
+// order-coupling artifacts, so the transfer costs its fixed latency.
+func (h *Hierarchy) dramAccess(cycle uint64, lat int) uint64 {
+	return cycle + uint64(lat)
+}
+
+// Access performs a load (write=false) or a store's L1D merge (write=true)
+// by core at the given cycle, returning the completion cycle. It installs
+// the line at every level and cascades evictions toward NVM.
+func (h *Hierarchy) Access(core int, addr uint64, write bool, cycle uint64) uint64 {
+	line := isa.LineAlign(addr)
+
+	// Coherence: a store must own the line exclusively.
+	extra := uint64(0)
+	if write && h.p.Cores > 1 {
+		for c := range h.l1 {
+			if c == core {
+				continue
+			}
+			if present, _ := h.l1[c].invalidate(line); present {
+				h.Invalidations++
+				extra = uint64(h.p.CoherenceInvalidateLat)
+			}
+		}
+	}
+
+	if h.l1[core].access(line, write) {
+		return cycle + uint64(h.p.L1DLat) + extra
+	}
+
+	var done uint64
+	if h.p.UseL3 {
+		done = h.accessL3Path(core, line, write, cycle)
+	} else {
+		done = h.accessL2Path(core, line, write, cycle)
+	}
+	// Fill L1.
+	h.installL1(core, line, write)
+	return done + extra
+}
+
+// accessL2Path handles the default organization: shared L2 below L1.
+func (h *Hierarchy) accessL2Path(core int, line uint64, write bool, cycle uint64) uint64 {
+	if h.l2.access(line, write) {
+		return cycle + uint64(h.p.L2Lat)
+	}
+	// Pre-warmed hot working sets: first touch behaves as an LLC hit.
+	if h.l2Resident != nil && h.l2Resident(line) {
+		h.l2.Misses--
+		h.l2.Hits++
+		h.installShared(h.l2, line, write)
+		return cycle + uint64(h.p.L2Lat)
+	}
+	done := h.belowSRAM(line, write, cycle)
+	h.installShared(h.l2, line, write)
+	return done
+}
+
+// accessL3Path handles the Figure 14 organization: private L2, shared L3.
+func (h *Hierarchy) accessL3Path(core int, line uint64, write bool, cycle uint64) uint64 {
+	if h.l2p[core].access(line, write) {
+		return cycle + uint64(h.p.L2PrivLat)
+	}
+	defer func() {
+		if v, d, ev := h.l2p[core].install(line, write); ev {
+			// Private-L2 victim: inclusive below, so just propagate dirt.
+			if d {
+				h.l3.markDirty(v)
+			}
+		}
+	}()
+	if h.l3.access(line, write) {
+		return cycle + uint64(h.p.L3Lat)
+	}
+	if h.l2Resident != nil && h.l2Resident(line) {
+		h.l3.Misses--
+		h.l3.Hits++
+		h.installSharedL3(line, write)
+		return cycle + uint64(h.p.L3Lat)
+	}
+	done := h.belowSRAM(line, write, cycle)
+	h.installSharedL3(line, write)
+	return done
+}
+
+// belowSRAM resolves an access that missed all SRAM levels.
+func (h *Hierarchy) belowSRAM(line uint64, write bool, cycle uint64) uint64 {
+	switch h.p.Mode {
+	case DRAMOnly:
+		return h.dramAccess(cycle, h.p.DRAMLat)
+	case AppDirect:
+		return h.dev.ReadAccess(line, cycle)
+	default: // MemoryMode
+		if h.dramc.access(line, write) {
+			return h.dramAccess(cycle, h.p.DRAMLat)
+		}
+		// Pre-warmed resident region: modeled as a DRAM-cache hit on first
+		// touch (the resident set was installed long before our window).
+		if h.warmResident != nil && h.warmResident(line) {
+			h.dramc.Misses--
+			h.dramc.Hits++
+			h.installDRAM(line, write)
+			return h.dramAccess(cycle, h.p.DRAMLat)
+		}
+		// Cold or conflict miss: fetch from NVM, install in DRAM cache.
+		done := h.dev.ReadAccess(line, cycle)
+		h.installDRAM(line, write)
+		return done
+	}
+}
+
+// installL1 installs a line into a core's L1D, propagating a dirty victim's
+// state downward (inclusive hierarchy: the victim is present below).
+func (h *Hierarchy) installL1(core int, line uint64, write bool) {
+	if v, d, ev := h.l1[core].install(line, write); ev && d {
+		if h.p.UseL3 {
+			h.l2p[core].markDirty(v)
+		} else {
+			h.l2.markDirty(v)
+		}
+	}
+}
+
+// installShared installs into the shared L2, cascading its victim.
+func (h *Hierarchy) installShared(l2 *setAssoc, line uint64, write bool) {
+	v, d, ev := l2.install(line, write)
+	if !ev {
+		return
+	}
+	h.evictFromLLCSRAM(v, d)
+}
+
+// installSharedL3 installs into the shared L3, cascading its victim.
+func (h *Hierarchy) installSharedL3(line uint64, write bool) {
+	v, d, ev := h.l3.install(line, write)
+	if !ev {
+		return
+	}
+	// Back-invalidate private L2s and L1s (inclusive L3).
+	for c := range h.l2p {
+		if _, pd := h.l2p[c].invalidate(v); pd {
+			d = true
+		}
+		if _, pd := h.l1[c].invalidate(v); pd {
+			d = true
+		}
+	}
+	h.evictBelowSRAM(v, d)
+}
+
+// evictFromLLCSRAM handles a line leaving the last SRAM level in the
+// default organization: back-invalidate L1s, then go below.
+func (h *Hierarchy) evictFromLLCSRAM(line uint64, dirty bool) {
+	for c := range h.l1 {
+		if _, pd := h.l1[c].invalidate(line); pd {
+			dirty = true
+		}
+	}
+	h.evictBelowSRAM(line, dirty)
+}
+
+// evictBelowSRAM routes a line evicted from SRAM to the next level down.
+func (h *Hierarchy) evictBelowSRAM(line uint64, dirty bool) {
+	if !dirty {
+		return
+	}
+	switch h.p.Mode {
+	case DRAMOnly:
+		// DRAM main memory absorbs the writeback; it is the home of the
+		// data, so the words become "durable" in the volatile sense: they
+		// leave the dirty set and land in the backing image.
+		h.flushLineToImage(line)
+		h.DRAMWritebacks++
+	case AppDirect:
+		h.queueNVMWriteback(line)
+	default: // MemoryMode
+		h.dramc.markDirtyOrInstall(line, h)
+		h.DRAMWritebacks++
+	}
+}
+
+// markDirtyOrInstall marks an existing DRAM-cache line dirty, or installs
+// it (write-allocate) cascading any victim to NVM.
+func (d *dramCache) markDirtyOrInstall(line uint64, h *Hierarchy) {
+	idx := d.setIndex(line)
+	if e, ok := d.sets[idx]; ok && e.tag == line {
+		e.dirty = true
+		d.sets[idx] = e
+		return
+	}
+	h.installDRAM(line, true)
+}
+
+// installDRAM installs a line into the DRAM cache, evicting a conflicting
+// dirty victim toward NVM with full back-invalidation (inclusive).
+func (h *Hierarchy) installDRAM(line uint64, write bool) {
+	v, d, ev := h.dramc.install(line, write)
+	if !ev {
+		return
+	}
+	// Back-invalidate SRAM copies of the victim.
+	for c := range h.l1 {
+		if _, pd := h.l1[c].invalidate(v); pd {
+			d = true
+		}
+	}
+	if h.p.UseL3 {
+		for c := range h.l2p {
+			if _, pd := h.l2p[c].invalidate(v); pd {
+				d = true
+			}
+		}
+		if _, pd := h.l3.invalidate(v); pd {
+			d = true
+		}
+	} else if _, pd := h.l2.invalidate(v); pd {
+		d = true
+	}
+	if d {
+		h.queueNVMWriteback(v)
+	}
+}
+
+// queueNVMWriteback snapshots the line's dirty words into the (volatile)
+// memory-controller eviction buffer on its way to the WPQ.
+func (h *Hierarchy) queueNVMWriteback(line uint64) {
+	words := h.lineWords(line)
+	if len(words) == 0 {
+		return
+	}
+	h.evictq.lines = append(h.evictq.lines, evictEntry{line: line, words: words})
+	h.NVMWritebacks++
+}
+
+// lineWords snapshots the current dirty word values of a line.
+func (h *Hierarchy) lineWords(line uint64) map[uint64]uint64 {
+	var words map[uint64]uint64
+	for off := uint64(0); off < isa.LineSize; off += isa.WordSize {
+		if v, ok := h.dirtyWords[line+off]; ok {
+			if words == nil {
+				words = make(map[uint64]uint64, 8)
+			}
+			words[line+off] = v
+		}
+	}
+	return words
+}
+
+// flushLineToImage moves a line's dirty words straight into the backing
+// image (DRAM-only mode: DRAM is home).
+func (h *Hierarchy) flushLineToImage(line uint64) {
+	for off := uint64(0); off < isa.LineSize; off += isa.WordSize {
+		a := line + off
+		if v, ok := h.dirtyWords[a]; ok {
+			h.dev.Image().WriteWord(a, v)
+			delete(h.dirtyWords, a)
+		}
+	}
+}
+
+// StoreData records a store's value in the volatile functional layer. It is
+// called when the store merges into L1D.
+func (h *Hierarchy) StoreData(addr, val uint64) {
+	h.dirtyWords[isa.WordAlign(addr)] = val
+}
+
+// PersistStore enqueues a committed store on the asynchronous persist path
+// (PPA/ReplayCache). It returns an ack token and ok=false when the core's
+// write buffer is full; the caller must retry (stalling the store pipeline).
+func (h *Hierarchy) PersistStore(core int, addr, val uint64, cycle uint64) (token int64, ok bool) {
+	a := isa.WordAlign(addr)
+	ready := cycle + uint64(h.p.PersistTransit) + uint64(h.p.PersistLag)
+	return h.wbs[core].add(isa.LineAlign(a), a, val, ready)
+}
+
+// FlushWB removes the lazy-coalescing lag from every pending persist of a
+// core: a region boundary needs them in the WPQ as soon as the transit
+// latency allows. Entries whose transit already elapsed become ready now.
+func (h *Hierarchy) FlushWB(core int, cycle uint64) {
+	lag := uint64(h.p.PersistLag)
+	wb := h.wbs[core]
+	for i := range wb.entries {
+		e := &wb.entries[i]
+		if e.ready <= cycle {
+			continue
+		}
+		ready := cycle
+		if e.ready > lag && e.ready-lag > cycle {
+			ready = e.ready - lag // transit portion still pending
+		}
+		e.ready = ready
+	}
+}
+
+// PersistAcked reports whether the persist identified by token (from
+// PersistStore) has been accepted into the WPQ — i.e., is durable.
+func (h *Hierarchy) PersistAcked(core int, token int64) bool {
+	return h.wbs[core].acked(token)
+}
+
+// CurrentPersistSeq returns the sequence of the newest write-buffer entry
+// (-1 when none was ever enqueued). A region boundary snapshots this value:
+// the region is durable once every entry up to the snapshot has entered the
+// WPQ, regardless of entries the next region adds meanwhile.
+func (h *Hierarchy) CurrentPersistSeq(core int) int64 { return h.wbs[core].appended - 1 }
+
+// PersistedThrough reports whether every write-buffer entry with sequence
+// <= seq has been accepted into the WPQ.
+func (h *Hierarchy) PersistedThrough(core int, seq int64) bool {
+	return seq < h.wbs[core].popped
+}
+
+// PersistPending returns the core's outstanding-persist counter — the
+// hardware counter of Section 4.3 that region boundaries compare with zero.
+func (h *Hierarchy) PersistPending(core int) int { return h.wbs[core].pending }
+
+// WBFull reports whether the core's write buffer cannot take a new line.
+func (h *Hierarchy) WBFull(core int) bool { return h.wbs[core].full() }
+
+// Tick advances the persist and eviction machinery one cycle:
+// the NVM device drains, one eviction-buffer entry may enter the WPQ, and
+// one write-buffer entry (round-robin across cores) may enter the WPQ.
+func (h *Hierarchy) Tick(cycle uint64) {
+	h.dev.Tick(cycle)
+
+	// Demand evictions first: they compete with persists for WPQ slots.
+	if len(h.evictq.lines) > 0 {
+		e := h.evictq.lines[0]
+		if h.dev.TryAccept(e.line, e.words) {
+			h.evictq.lines = h.evictq.lines[1:]
+			// The words are durable now; retire them from the volatile
+			// layer unless overwritten since the snapshot.
+			for a, v := range e.words {
+				if cur, ok := h.dirtyWords[a]; ok && cur == v {
+					delete(h.dirtyWords, a)
+				}
+			}
+		}
+	}
+
+	// Persist accepts: up to one per memory channel per cycle, round-robin
+	// across cores. A core whose front entry is still in its coalescing
+	// window does not block the others.
+	n := len(h.wbs)
+	maxAccepts := h.dev.Config().Channels
+	accepted := 0
+	for i := 0; i < n && accepted < maxAccepts; i++ {
+		wb := h.wbs[(h.wbNext+i)%n]
+		if len(wb.entries) == 0 {
+			continue
+		}
+		e := &wb.entries[0]
+		if e.ready > cycle {
+			continue
+		}
+		if h.dev.TryAccept(e.line, e.words) {
+			wb.pending -= e.stores
+			wb.pop()
+			accepted++
+		}
+	}
+	h.wbNext = (h.wbNext + 1) % n
+}
+
+// FlushAllDirty writes every volatile dirty word to the NVM image — the
+// eADR/battery-backed flush-on-failure path, whose energy cost is the
+// supercapacitor budget PPA's tiny checkpoint replaces. It returns the
+// number of bytes flushed.
+func (h *Hierarchy) FlushAllDirty() int {
+	n := 0
+	for a, v := range h.dirtyWords {
+		h.dev.Image().WriteWord(a, v)
+		n += isa.WordSize
+	}
+	h.dirtyWords = make(map[uint64]uint64)
+	return n
+}
+
+// PowerFail models the loss of all volatile state: SRAM caches, the DRAM
+// cache, write buffers, and the memory-controller eviction buffer. The NVM
+// image (including WPQ contents, which are in the ADR domain) survives.
+func (h *Hierarchy) PowerFail() {
+	for i := range h.l1 {
+		h.l1[i] = newSetAssoc(h.p.L1DSize, h.p.L1DWays)
+	}
+	if h.p.UseL3 {
+		for i := range h.l2p {
+			h.l2p[i] = newSetAssoc(h.p.L2PrivSz, h.p.L2Ways)
+		}
+		h.l3 = newSetAssoc(h.p.L2Size, h.p.L2Ways)
+	} else {
+		h.l2 = newSetAssoc(h.p.L2Size, h.p.L2Ways)
+	}
+	if h.p.Mode == MemoryMode {
+		h.dramc = newDRAMCache(h.p.DRAMCacheSize)
+	}
+	for i := range h.wbs {
+		h.wbs[i] = newWriteBuffer(h.p.WBEntries, h.p.CoalesceWB)
+	}
+	h.evictq.lines = nil
+	h.dirtyWords = make(map[uint64]uint64)
+	h.dev.PowerFail()
+}
+
+// DirtyWordCount returns the number of volatile (not-yet-durable) words —
+// the data at risk across a power failure.
+func (h *Hierarchy) DirtyWordCount() int { return len(h.dirtyWords) }
+
+// L2MissRate returns the shared SRAM LLC miss rate (the paper quotes L2
+// miss rates when selecting Figure 10's applications).
+func (h *Hierarchy) L2MissRate() float64 {
+	if h.p.UseL3 {
+		return h.l3.MissRate()
+	}
+	return h.l2.MissRate()
+}
+
+// DRAMCacheMissRate returns the DRAM-cache miss rate (memory mode only).
+func (h *Hierarchy) DRAMCacheMissRate() float64 {
+	if h.dramc == nil {
+		return 0
+	}
+	return h.dramc.MissRate()
+}
+
+// WBStats returns aggregate write-buffer statistics across cores.
+func (h *Hierarchy) WBStats() (enqueuedLines, coalescedStores uint64) {
+	for _, wb := range h.wbs {
+		enqueuedLines += wb.EnqueuedLines
+		coalescedStores += wb.CoalescedStores
+	}
+	return
+}

@@ -1,0 +1,245 @@
+// Package checkpoint implements PPA's just-in-time checkpointing
+// (Section 4.5): on the Power_Fail signal, a small FSM-driven controller
+// dumps five structures to a designated NVM area — the CSQ, the LCPC, the
+// CRT, MaskReg, and the physical registers referenced by the CSQ or CRT.
+// The package provides the checkpoint image, a byte encoding (what the
+// controller streams over the non-temporal path at 8 bytes per cycle), and
+// the timing/energy model of Section 7.13.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ppa/internal/isa"
+	"ppa/internal/pipeline"
+	"ppa/internal/rename"
+)
+
+// RegValue is one checkpointed physical register.
+type RegValue struct {
+	Phys rename.PhysRef
+	Val  uint64
+}
+
+// Image is the content of one core's JIT checkpoint.
+type Image struct {
+	CoreID int
+	LCPC   uint64
+	// Committed is simulation metadata (derivable from LCPC in hardware):
+	// the count of committed instructions, used by verification.
+	Committed int
+
+	CSQ     []pipeline.CSQEntry
+	CRT     []rename.TableSnapshot
+	MaskInt []bool
+	MaskFP  []bool
+	Regs    []RegValue
+}
+
+// Capture snapshots a core's architectural recovery state, exactly the five
+// structures of Figure 7: only registers marked by CRT or CSQ entries are
+// saved — free and uncommitted registers are not (Section 4.5).
+func Capture(core *pipeline.Core) *Image {
+	ren := core.Renamer()
+	im := &Image{
+		LCPC:      core.LCPC(),
+		Committed: core.Committed(),
+		CRT:       ren.CRTSnapshot(),
+		MaskInt:   ren.MaskSnapshot(isa.ClassInt),
+		MaskFP:    ren.MaskSnapshot(isa.ClassFP),
+	}
+	im.CSQ = append(im.CSQ, core.CSQ()...)
+
+	// Collect the referenced physical registers: CSQ sources first, then
+	// CRT mappings, de-duplicated.
+	seen := make(map[rename.PhysRef]bool)
+	addReg := func(p rename.PhysRef) {
+		if !p.Valid() || seen[p] {
+			return
+		}
+		seen[p] = true
+		im.Regs = append(im.Regs, RegValue{Phys: p, Val: ren.Read(p)})
+	}
+	for _, e := range im.CSQ {
+		if !e.ValueBearing {
+			addReg(e.Phys)
+		}
+	}
+	for _, t := range im.CRT {
+		for _, idx := range t.CRT {
+			addReg(rename.PhysRef{Class: t.Class, Idx: idx})
+		}
+	}
+	return im
+}
+
+// magic identifies an encoded checkpoint blob.
+const magic = uint32(0x50504143) // "PPAC"
+
+// Encode serializes the image to the byte stream the controller writes.
+func (im *Image) Encode() []byte {
+	var b []byte
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+
+	u32(magic)
+	u32(uint32(im.CoreID))
+	u64(im.LCPC)
+	u64(uint64(im.Committed))
+
+	u32(uint32(len(im.CSQ)))
+	for _, e := range im.CSQ {
+		flags := uint32(e.Phys.Class)
+		if e.ValueBearing {
+			flags |= 1 << 8
+		}
+		u32(flags)
+		u32(uint32(e.Phys.Idx))
+		u64(e.Addr)
+		u64(e.Val)
+		u64(uint64(e.Seq))
+	}
+
+	u32(uint32(len(im.CRT)))
+	for _, t := range im.CRT {
+		u32(uint32(t.Class))
+		u32(uint32(len(t.CRT)))
+		for _, idx := range t.CRT {
+			u32(uint32(idx))
+		}
+	}
+
+	encodeMask := func(mask []bool) {
+		u32(uint32(len(mask)))
+		var cur byte
+		var nbits int
+		for _, m := range mask {
+			cur <<= 1
+			if m {
+				cur |= 1
+			}
+			nbits++
+			if nbits == 8 {
+				b = append(b, cur)
+				cur, nbits = 0, 0
+			}
+		}
+		if nbits > 0 {
+			b = append(b, cur<<(8-nbits))
+		}
+	}
+	encodeMask(im.MaskInt)
+	encodeMask(im.MaskFP)
+
+	u32(uint32(len(im.Regs)))
+	for _, r := range im.Regs {
+		u32(uint32(r.Phys.Class))
+		u32(uint32(r.Phys.Idx))
+		u64(r.Val)
+	}
+	return b
+}
+
+// Decode parses an encoded checkpoint blob.
+func Decode(b []byte) (*Image, error) {
+	r := &reader{b: b}
+	if m := r.u32(); m != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", m)
+	}
+	im := &Image{}
+	im.CoreID = int(r.u32())
+	im.LCPC = r.u64()
+	im.Committed = int(r.u64())
+
+	nCSQ := int(r.u32())
+	if nCSQ < 0 || nCSQ > 1<<20 {
+		return nil, fmt.Errorf("checkpoint: implausible CSQ length %d", nCSQ)
+	}
+	im.CSQ = make([]pipeline.CSQEntry, 0, nCSQ)
+	for i := 0; i < nCSQ; i++ {
+		flags := r.u32()
+		idx := r.u32()
+		e := pipeline.CSQEntry{
+			Phys:         rename.PhysRef{Class: isa.RegClass(flags & 0xFF), Idx: uint16(idx)},
+			Addr:         r.u64(),
+			Val:          r.u64(),
+			Seq:          int(r.u64()),
+			ValueBearing: flags&(1<<8) != 0,
+		}
+		if e.ValueBearing {
+			e.Phys = rename.PhysRef{}
+		}
+		im.CSQ = append(im.CSQ, e)
+	}
+
+	nCRT := int(r.u32())
+	for i := 0; i < nCRT; i++ {
+		t := rename.TableSnapshot{Class: isa.RegClass(r.u32())}
+		n := int(r.u32())
+		t.CRT = make([]uint16, n)
+		for j := 0; j < n; j++ {
+			t.CRT[j] = uint16(r.u32())
+		}
+		im.CRT = append(im.CRT, t)
+	}
+
+	decodeMask := func() []bool {
+		n := int(r.u32())
+		mask := make([]bool, n)
+		for i := 0; i < n; i += 8 {
+			byteVal := r.u8()
+			for j := 0; j < 8 && i+j < n; j++ {
+				mask[i+j] = byteVal&(1<<(7-j)) != 0
+			}
+		}
+		return mask
+	}
+	im.MaskInt = decodeMask()
+	im.MaskFP = decodeMask()
+
+	nRegs := int(r.u32())
+	for i := 0; i < nRegs; i++ {
+		class := isa.RegClass(r.u32())
+		idx := uint16(r.u32())
+		im.Regs = append(im.Regs, RegValue{
+			Phys: rename.PhysRef{Class: class, Idx: idx},
+			Val:  r.u64(),
+		})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return im, nil
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err == nil && r.off+n > len(r.b) {
+		r.err = fmt.Errorf("checkpoint: truncated blob at offset %d", r.off)
+	}
+	if r.err != nil {
+		return make([]byte, n)
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() byte    { return r.take(1)[0] }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+
+// RegLookup builds a map from physical register to checkpointed value.
+func (im *Image) RegLookup() map[rename.PhysRef]uint64 {
+	m := make(map[rename.PhysRef]uint64, len(im.Regs))
+	for _, r := range im.Regs {
+		m[r.Phys] = r.Val
+	}
+	return m
+}

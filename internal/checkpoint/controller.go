@@ -1,0 +1,202 @@
+package checkpoint
+
+// The Section 7.13 accounting constants.
+const (
+	// EnergyPerByteNJ is the measured energy to read one byte from SRAM
+	// and move it from core to NVM (11.839 nJ/byte, per BBB's methodology).
+	EnergyPerByteNJ = 11.839
+	// BytesPerCycle is the controller's streaming rate over the
+	// non-temporal path (8 bytes per cycle, Section 4.5).
+	BytesPerCycle = 8
+	// ControllerFlipFlops and ControllerGates are the RTL synthesis
+	// results quoted in Section 7.13.
+	ControllerFlipFlops = 144
+	ControllerGates     = 88
+	// WorstCaseRegBytes is the worst-case physical register width the
+	// paper assumes when sizing the checkpoint (128-bit registers).
+	WorstCaseRegBytes = 16
+)
+
+// CostModel computes the hardware-accounted checkpoint size, time, and
+// energy for a given image, reproducing the Section 7.13 arithmetic.
+type CostModel struct {
+	// ClockGHz is the core clock (Table 2: 2 GHz).
+	ClockGHz float64
+	// WriteBandwidthGBs is the PMEM write bandwidth (2.3 GB/s).
+	WriteBandwidthGBs float64
+}
+
+// DefaultCostModel returns the paper's parameters.
+func DefaultCostModel() CostModel { return CostModel{ClockGHz: 2.0, WriteBandwidthGBs: 2.3} }
+
+// HardwareBytes returns the number of bytes the controller checkpoints for
+// an image, using the paper's hardware accounting: each physical register
+// is budgeted at its 128-bit worst case, CSQ entries at 8 bytes, CRT
+// entries rounded to bytes, MaskReg as a packed bit vector, LCPC at 8
+// bytes; every structure rounds up to a multiple of 8 bytes for the 8-byte
+// non-temporal path granularity.
+func (m CostModel) HardwareBytes(im *Image) int {
+	round8 := func(n int) int { return (n + 7) &^ 7 }
+
+	lcpc := 8
+	csq := round8(len(im.CSQ) * 8)
+	crtEntries := 0
+	for _, t := range im.CRT {
+		crtEntries += len(t.CRT)
+	}
+	crt := round8(crtEntries * 2) // 9-10 bit indexes stored as 2 bytes
+	maskBits := len(im.MaskInt) + len(im.MaskFP)
+	mask := round8((maskBits + 7) / 8)
+	regs := round8(len(im.Regs) * WorstCaseRegBytes)
+	return lcpc + csq + crt + mask + regs
+}
+
+// WorstCaseBytes returns the paper's worst-case checkpoint size for a
+// machine with the given structure geometry: a full CSQ, all CRT-mapped
+// registers distinct from CSQ registers, and 128-bit register payloads.
+// With Table 2 geometry (40-entry CSQ, 16+32 architectural registers,
+// 180+168 physical registers) this is the 1838-byte figure of Section 7.13.
+func (m CostModel) WorstCaseBytes(csqEntries, intArch, fpArch, intPhys, fpPhys int) int {
+	lcpc := 8
+	csq := csqEntries * 8
+	crt := (intArch + fpArch) * 9 / 8 // 9-bit indexes, packed
+	maskBits := intPhys + fpPhys
+	mask := (maskBits + 7) / 8
+	regs := (csqEntries + intArch + fpArch) * WorstCaseRegBytes
+	return lcpc + csq + crt + mask + regs
+}
+
+// ReadTimeNS returns the controller's time to stream n bytes out of the
+// five structures at 8 bytes per cycle.
+func (m CostModel) ReadTimeNS(bytes int) float64 {
+	cycles := float64(bytes) / BytesPerCycle
+	return cycles / m.ClockGHz
+}
+
+// FlushTimeUS returns the time to push n bytes into PMEM at the write
+// bandwidth.
+func (m CostModel) FlushTimeUS(bytes int) float64 {
+	return float64(bytes) / (m.WriteBandwidthGBs * 1e3) // bytes / (GB/s) in us: B / (GB/s)=ns ; /1e3 = us
+}
+
+// EnergyUJ returns the checkpoint energy in microjoules at 11.839 nJ/byte.
+func (m CostModel) EnergyUJ(bytes int) float64 {
+	return float64(bytes) * EnergyPerByteNJ / 1e3
+}
+
+// FSMState enumerates the controller's states (Figure 7).
+type FSMState int
+
+const (
+	FSMIdle FSMState = iota
+	FSMStopPipeline
+	FSMRead
+	FSMWrite
+)
+
+func (s FSMState) String() string {
+	switch s {
+	case FSMIdle:
+		return "Idle"
+	case FSMStopPipeline:
+		return "Stop_Pipeline"
+	case FSMRead:
+		return "Read"
+	case FSMWrite:
+		return "Write"
+	default:
+		return "?"
+	}
+}
+
+// Controller simulates the checkpointing FSM cycle by cycle: on Power_Fail
+// it stops the pipeline, then alternates Read/Write one 8-byte entry at a
+// time across the five structures until Ckpt_All, tracking elapsed cycles
+// and consumed energy — which must fit in the capacitor budget.
+type Controller struct {
+	model CostModel
+
+	state      FSMState
+	remaining  int // 8-byte entries left
+	cycles     uint64
+	totalBytes int
+}
+
+// NewController builds a controller with the given cost model.
+func NewController(model CostModel) *Controller {
+	return &Controller{model: model, state: FSMIdle}
+}
+
+// PowerFail arms the controller for an image of the given encoded size.
+func (c *Controller) PowerFail(bytes int) {
+	c.totalBytes = bytes
+	c.remaining = (bytes + BytesPerCycle - 1) / BytesPerCycle
+	c.state = FSMStopPipeline
+	c.cycles = 0
+}
+
+// State returns the current FSM state.
+func (c *Controller) State() FSMState { return c.state }
+
+// Step advances the FSM one cycle; it returns true while work remains.
+func (c *Controller) Step() bool {
+	c.cycles++
+	switch c.state {
+	case FSMIdle:
+		return false
+	case FSMStopPipeline:
+		c.state = FSMRead
+		return true
+	case FSMRead:
+		c.state = FSMWrite
+		return true
+	case FSMWrite:
+		c.remaining--
+		if c.remaining <= 0 {
+			c.state = FSMIdle // Ckpt_All
+			return false
+		}
+		c.state = FSMRead
+		return true
+	}
+	return false
+}
+
+// Run drives the FSM to completion, returning elapsed controller cycles.
+func (c *Controller) Run() uint64 {
+	for c.Step() {
+	}
+	return c.cycles
+}
+
+// EnergyUJ returns the energy consumed for the armed image.
+func (c *Controller) EnergyUJ() float64 { return c.model.EnergyUJ(c.totalBytes) }
+
+// Capacitor models the residual-energy reservoir that powers JIT
+// checkpointing (Section 7.13). Energies are in microjoules.
+type Capacitor struct {
+	CapacityUJ float64
+}
+
+// CanCheckpoint reports whether the capacitor holds enough energy for a
+// checkpoint of the given byte size under the cost model.
+func (cap Capacitor) CanCheckpoint(m CostModel, bytes int) bool {
+	return m.EnergyUJ(bytes) <= cap.CapacityUJ
+}
+
+// SupercapVolumeMM3 returns the supercapacitor volume needed for an energy
+// budget, at the 1e-4 Wh/cm^3 density the paper cites.
+func SupercapVolumeMM3(energyUJ float64) float64 {
+	// 1e-4 Wh/cm^3 = 0.36 J/cm^3 = 0.36e-3 J/mm^3 = 360 uJ/mm^3.
+	return energyUJ / 360.0
+}
+
+// LiThinVolumeMM3 returns the Li-thin-battery volume for an energy budget,
+// at 1e-2 Wh/cm^3 (100x denser than the supercapacitor).
+func LiThinVolumeMM3(energyUJ float64) float64 {
+	return energyUJ / 36000.0
+}
+
+// CoreAreaMM2 is the Intel Xeon server core area the paper normalizes
+// against (11.85 mm^2 excluding shared L2).
+const CoreAreaMM2 = 11.85

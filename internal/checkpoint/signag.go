@@ -1,0 +1,92 @@
+package checkpoint
+
+// Figure 7's address-generation detail: during checkpointing the FSM
+// triggers two generators sharing one adder structure — the Source Index
+// Generator (SIG) picks which 8-byte entry of which structure to read next,
+// and the NVM Address Generator (NAG) computes where in the designated
+// checkpoint area to write it. Both are Base+Offset walks; Ckpt_All raises
+// when every structure has been visited.
+
+// StructureID enumerates the five checkpointed structures in the (order-
+// insensitive, footnote 13) sequence our controller walks them.
+type StructureID int
+
+// The five structures of Section 4.5.
+const (
+	StructCSQ StructureID = iota
+	StructLCPC
+	StructCRT
+	StructMaskReg
+	StructPRF
+	numStructures
+)
+
+func (s StructureID) String() string {
+	switch s {
+	case StructCSQ:
+		return "CSQ"
+	case StructLCPC:
+		return "LCPC"
+	case StructCRT:
+		return "CRT"
+	case StructMaskReg:
+		return "MaskReg"
+	case StructPRF:
+		return "PRF"
+	default:
+		return "?"
+	}
+}
+
+// Layout gives each structure's entry count (in 8-byte units) for one
+// checkpoint image, computed with the controller's hardware rounding.
+func Layout(im *Image) [numStructures]int {
+	round8 := func(n int) int { return (n + 7) / 8 }
+	var l [numStructures]int
+	l[StructCSQ] = len(im.CSQ) // one 8-byte slot per entry
+	l[StructLCPC] = 1
+	crtEntries := 0
+	for _, t := range im.CRT {
+		crtEntries += len(t.CRT)
+	}
+	l[StructCRT] = round8(crtEntries * 2)
+	l[StructMaskReg] = round8((len(im.MaskInt) + len(im.MaskFP) + 7) / 8)
+	l[StructPRF] = len(im.Regs) * (WorstCaseRegBytes / 8)
+	return l
+}
+
+// AddressedEntry is one 8-byte checkpoint transfer: which structure entry
+// the SIG selected and the NVM address the NAG produced.
+type AddressedEntry struct {
+	Struct  StructureID
+	Index   int    // entry index within the structure (SIG output)
+	NVMAddr uint64 // destination in the checkpoint area (NAG output)
+}
+
+// Walk simulates the SIG/NAG walk for an image checkpointed to a
+// designated area starting at base: a strictly sequential, 8-byte-granular
+// traversal of the five structures. It is the order the recovery path
+// reverses.
+func Walk(im *Image, base uint64) []AddressedEntry {
+	layout := Layout(im)
+	var out []AddressedEntry
+	addr := base
+	for s := StructureID(0); s < numStructures; s++ {
+		for i := 0; i < layout[s]; i++ {
+			out = append(out, AddressedEntry{Struct: s, Index: i, NVMAddr: addr})
+			addr += 8
+		}
+	}
+	return out
+}
+
+// WalkBytes returns the total bytes the walk transfers — by construction
+// equal to the cost model's HardwareBytes.
+func WalkBytes(im *Image) int {
+	layout := Layout(im)
+	n := 0
+	for _, entries := range layout {
+		n += entries * 8
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+// Package iobuf implements the Section 5 extension for irrevocable I/O:
+// "PPA can be extended to have a battery-backed buffer for crash-consistent
+// I/O operations. In this way, PPA considers any store to the buffer as
+// persisted."
+//
+// The buffer sits at a fixed MMIO-style address window. A store into the
+// window is durable the moment it is accepted (battery-backed), so it needs
+// no CSQ entry and no replay; the device drains buffered commands to the
+// outside world at its own pace, and a power failure preserves every
+// accepted-but-undrained command. Commands are sequenced so the external
+// device never observes a duplicate even if the producer replays after
+// recovery — the exactly-once property irrevocable operations need.
+package iobuf
+
+import (
+	"fmt"
+
+	"ppa/internal/isa"
+)
+
+// Window is the MMIO address window the buffer decodes.
+type Window struct {
+	Base uint64
+	Size uint64
+}
+
+// Contains reports whether an address falls inside the window.
+func (w Window) Contains(addr uint64) bool {
+	return addr >= w.Base && addr < w.Base+w.Size
+}
+
+// Command is one buffered I/O command: a word written into the window.
+type Command struct {
+	// Seq is the command's acceptance sequence number; the external device
+	// uses it to deduplicate replays.
+	Seq uint64
+	// Off is the word offset within the window.
+	Off uint64
+	// Val is the command payload.
+	Val uint64
+}
+
+// Buffer is the battery-backed I/O buffer.
+type Buffer struct {
+	win      Window
+	capacity int
+
+	pending []Command
+	nextSeq uint64
+
+	// drained holds commands the external device has consumed, in order —
+	// the observable I/O history.
+	drained []Command
+
+	// DrainCycles is the device service time per command.
+	DrainCycles int
+	busyTill    uint64
+
+	Accepts uint64
+	Rejects uint64
+}
+
+// New builds an I/O buffer of capEntries commands over the given window.
+func New(win Window, capEntries, drainCycles int) (*Buffer, error) {
+	if win.Size == 0 || win.Size%isa.WordSize != 0 {
+		return nil, fmt.Errorf("iobuf: window size must be a positive word multiple")
+	}
+	if capEntries <= 0 {
+		return nil, fmt.Errorf("iobuf: capacity must be positive")
+	}
+	if drainCycles <= 0 {
+		drainCycles = 1
+	}
+	return &Buffer{win: win, capacity: capEntries, DrainCycles: drainCycles}, nil
+}
+
+// Window returns the decoded address window.
+func (b *Buffer) Window() Window { return b.win }
+
+// TryWrite offers one store into the window. On success the command is
+// durable (battery-backed): it will reach the device even across a power
+// failure. false means the buffer is full and the store must retry.
+func (b *Buffer) TryWrite(addr, val uint64) bool {
+	if !b.win.Contains(addr) {
+		return false
+	}
+	if len(b.pending) >= b.capacity {
+		b.Rejects++
+		return false
+	}
+	cmd := Command{Seq: b.nextSeq, Off: isa.WordAlign(addr) - b.win.Base, Val: val}
+	b.nextSeq++
+	b.pending = append(b.pending, cmd)
+	b.Accepts++
+	return true
+}
+
+// WriteDedup accepts a command replayed after recovery: commands whose
+// sequence the device already consumed (or that are still pending) are
+// dropped, preserving exactly-once delivery.
+func (b *Buffer) WriteDedup(cmd Command) bool {
+	if cmd.Seq < b.nextSeq {
+		return false // duplicate of an accepted command
+	}
+	if len(b.pending) >= b.capacity {
+		b.Rejects++
+		return false
+	}
+	b.nextSeq = cmd.Seq + 1
+	b.pending = append(b.pending, cmd)
+	b.Accepts++
+	return true
+}
+
+// Pending returns the number of accepted-but-undrained commands.
+func (b *Buffer) Pending() int { return len(b.pending) }
+
+// Tick drains one command to the external device when it is free.
+func (b *Buffer) Tick(cycle uint64) {
+	if len(b.pending) == 0 || b.busyTill > cycle {
+		return
+	}
+	b.drained = append(b.drained, b.pending[0])
+	b.pending = b.pending[1:]
+	b.busyTill = cycle + uint64(b.DrainCycles)
+}
+
+// Drained returns the I/O history the external device observed.
+func (b *Buffer) Drained() []Command { return b.drained }
+
+// PowerFail models the outage: the battery preserves pending commands (they
+// drain on power-up); the history is external and trivially survives.
+func (b *Buffer) PowerFail() {
+	b.busyTill = 0
+}
+
+// VerifyExactlyOnce checks the buffer's central invariant: the observable
+// history plus the pending queue contain each sequence number exactly once,
+// in order.
+func (b *Buffer) VerifyExactlyOnce() error {
+	var want uint64
+	check := func(cmds []Command, where string) error {
+		for _, c := range cmds {
+			if c.Seq != want {
+				return fmt.Errorf("iobuf: %s sequence %d, want %d", where, c.Seq, want)
+			}
+			want++
+		}
+		return nil
+	}
+	if err := check(b.drained, "drained"); err != nil {
+		return err
+	}
+	return check(b.pending, "pending")
+}

@@ -1,0 +1,158 @@
+package iobuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newBuf(t *testing.T) *Buffer {
+	t.Helper()
+	b, err := New(Window{Base: 0xF000_0000, Size: 4096}, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestWindowDecode(t *testing.T) {
+	b := newBuf(t)
+	if b.TryWrite(0x1000, 1) {
+		t.Fatal("address outside the window must not decode")
+	}
+	if !b.TryWrite(0xF000_0000, 1) {
+		t.Fatal("window base must decode")
+	}
+	if !b.Window().Contains(0xF000_0FF8) {
+		t.Fatal("window end must decode")
+	}
+	if b.Window().Contains(0xF000_1000) {
+		t.Fatal("past-the-end must not decode")
+	}
+}
+
+func TestCapacityBackpressure(t *testing.T) {
+	b := newBuf(t)
+	for i := uint64(0); i < 8; i++ {
+		if !b.TryWrite(0xF000_0000+i*8, i) {
+			t.Fatalf("write %d rejected early", i)
+		}
+	}
+	if b.TryWrite(0xF000_0000, 99) {
+		t.Fatal("full buffer must reject")
+	}
+	if b.Rejects != 1 || b.Accepts != 8 {
+		t.Fatalf("accounting: %d/%d", b.Accepts, b.Rejects)
+	}
+}
+
+func TestDrainOrderAndRate(t *testing.T) {
+	b := newBuf(t)
+	for i := uint64(0); i < 3; i++ {
+		b.TryWrite(0xF000_0000+i*8, 100+i)
+	}
+	b.Tick(0)
+	if len(b.Drained()) != 1 {
+		t.Fatal("one command per service time")
+	}
+	b.Tick(5) // still busy
+	if len(b.Drained()) != 1 {
+		t.Fatal("drain rate violated")
+	}
+	b.Tick(10)
+	b.Tick(20)
+	d := b.Drained()
+	if len(d) != 3 {
+		t.Fatalf("drained %d", len(d))
+	}
+	for i, c := range d {
+		if c.Seq != uint64(i) || c.Val != 100+uint64(i) {
+			t.Fatalf("order violated: %+v", c)
+		}
+	}
+	if err := b.VerifyExactlyOnce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerFailurePreservesPending(t *testing.T) {
+	b := newBuf(t)
+	b.TryWrite(0xF000_0000, 1)
+	b.TryWrite(0xF000_0008, 2)
+	b.Tick(0) // first command reaches the device
+	b.PowerFail()
+	if b.Pending() != 1 {
+		t.Fatal("battery-backed pending command lost")
+	}
+	// Power back: the pending command drains; nothing duplicates.
+	b.Tick(100)
+	if len(b.Drained()) != 2 {
+		t.Fatalf("history %d commands", len(b.Drained()))
+	}
+	if err := b.VerifyExactlyOnce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayDeduplication(t *testing.T) {
+	b := newBuf(t)
+	b.TryWrite(0xF000_0000, 1) // seq 0
+	b.TryWrite(0xF000_0008, 2) // seq 1
+	// A recovering producer replays both commands plus a genuinely new one.
+	if b.WriteDedup(Command{Seq: 0, Off: 0, Val: 1}) {
+		t.Fatal("duplicate seq 0 must drop")
+	}
+	if b.WriteDedup(Command{Seq: 1, Off: 8, Val: 2}) {
+		t.Fatal("duplicate seq 1 must drop")
+	}
+	if !b.WriteDedup(Command{Seq: 2, Off: 16, Val: 3}) {
+		t.Fatal("new command must accept")
+	}
+	for c := uint64(0); c < 100; c++ {
+		b.Tick(c)
+	}
+	if len(b.Drained()) != 3 {
+		t.Fatalf("device observed %d commands, want exactly 3", len(b.Drained()))
+	}
+	if err := b.VerifyExactlyOnce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Window{Base: 0, Size: 0}, 8, 1); err == nil {
+		t.Fatal("zero window must error")
+	}
+	if _, err := New(Window{Base: 0, Size: 7}, 8, 1); err == nil {
+		t.Fatal("unaligned window must error")
+	}
+	if _, err := New(Window{Base: 0, Size: 64}, 0, 1); err == nil {
+		t.Fatal("zero capacity must error")
+	}
+}
+
+// Property: any interleaving of writes, ticks, and power failures keeps the
+// exactly-once invariant.
+func TestExactlyOnceProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b, err := New(Window{Base: 0x1000, Size: 512}, 4, 3)
+		if err != nil {
+			return false
+		}
+		cycle := uint64(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				b.TryWrite(0x1000+uint64(op%64)*8, uint64(op))
+			case 2:
+				b.Tick(cycle)
+			case 3:
+				b.PowerFail()
+			}
+			cycle += uint64(op%5) + 1
+		}
+		return b.VerifyExactlyOnce() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

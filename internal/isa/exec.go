@@ -1,0 +1,186 @@
+package isa
+
+// Memory is the functional memory interface used by the golden executor and
+// by the cache hierarchy's functional layer. All accesses are 8-byte words
+// at 8-byte-aligned addresses.
+type Memory interface {
+	ReadWord(addr uint64) uint64
+	WriteWord(addr uint64, val uint64)
+}
+
+// MapMemory is a sparse word-granular memory. The zero value is ready to use.
+type MapMemory struct {
+	words map[uint64]uint64
+}
+
+// NewMapMemory returns an empty sparse memory.
+func NewMapMemory() *MapMemory { return &MapMemory{words: make(map[uint64]uint64)} }
+
+// ReadWord returns the word at addr (zero if never written).
+func (m *MapMemory) ReadWord(addr uint64) uint64 {
+	if m.words == nil {
+		return 0
+	}
+	return m.words[WordAlign(addr)]
+}
+
+// WriteWord stores val at addr.
+func (m *MapMemory) WriteWord(addr uint64, val uint64) {
+	if m.words == nil {
+		m.words = make(map[uint64]uint64)
+	}
+	m.words[WordAlign(addr)] = val
+}
+
+// Len returns the number of distinct words ever written.
+func (m *MapMemory) Len() int { return len(m.words) }
+
+// Snapshot returns a copy of all written words.
+func (m *MapMemory) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m.words))
+	for k, v := range m.words {
+		out[k] = v
+	}
+	return out
+}
+
+// Range calls fn for every written word until fn returns false.
+func (m *MapMemory) Range(fn func(addr, val uint64) bool) {
+	for k, v := range m.words {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// ArchState is the architectural register state of one hardware thread.
+type ArchState struct {
+	Int [NumIntRegs]uint64
+	FP  [NumFPRegs]uint64
+}
+
+// Read returns the value of architectural register r (0 for NoReg).
+func (s *ArchState) Read(r Reg) uint64 {
+	switch r.Class {
+	case ClassInt:
+		return s.Int[r.Index]
+	case ClassFP:
+		return s.FP[r.Index]
+	default:
+		return 0
+	}
+}
+
+// Write sets architectural register r to val; writes to NoReg are dropped.
+func (s *ArchState) Write(r Reg, val uint64) {
+	switch r.Class {
+	case ClassInt:
+		s.Int[r.Index] = val
+	case ClassFP:
+		s.FP[r.Index] = val
+	}
+}
+
+// Eval computes the result value of a non-store instruction given its source
+// operand values and, for loads/RMWs, the loaded memory word. The semantics
+// are deterministic so that any two executions of the same trace agree on
+// every stored value — the property crash-consistency checks rely on.
+func Eval(in *Inst, src1, src2, memWord uint64) uint64 {
+	switch in.Op {
+	case OpALU:
+		return src1 + src2 + uint64(in.Imm)
+	case OpMul:
+		return src1*src2 + uint64(in.Imm)
+	case OpFPU:
+		// Integer mixing stands in for FP arithmetic; only determinism and
+		// register-file pressure matter to the microarchitecture.
+		return src1 ^ (src2 + uint64(in.Imm))
+	case OpFPMul:
+		return (src1+3)*(src2|1) + uint64(in.Imm)
+	case OpLoad:
+		return memWord
+	case OpRMW:
+		return memWord // RMW returns the old memory value
+	default:
+		return 0
+	}
+}
+
+// StoredValue returns the value a store-class instruction writes to memory,
+// given its data-register value and (for RMW) the old memory word.
+func StoredValue(in *Inst, data, memWord uint64) uint64 {
+	if in.Op == OpRMW {
+		return memWord + data
+	}
+	return data
+}
+
+// GoldenResult is the outcome of an in-order functional execution.
+type GoldenResult struct {
+	// Mem is the memory image after the last executed instruction.
+	Mem *MapMemory
+	// Regs is the final architectural register state.
+	Regs ArchState
+	// StoreLog records every store in program order as (addr, value).
+	StoreLog []StoreRecord
+	// Executed is the number of instructions executed.
+	Executed int
+}
+
+// StoreRecord is one program-order store.
+type StoreRecord struct {
+	Seq  int // dynamic instruction index
+	Addr uint64
+	Val  uint64
+}
+
+// RunGolden executes the first n instructions of p in order on a fresh
+// memory and register file, returning the resulting state. n < 0 runs the
+// whole trace. This is the reference model: a crash-consistent scheme must
+// recover NVM to a state where every address stored by the first k committed
+// instructions holds its golden value at instruction k.
+func RunGolden(p *Program, n int) *GoldenResult {
+	if n < 0 || n > len(p.Insts) {
+		n = len(p.Insts)
+	}
+	res := &GoldenResult{Mem: NewMapMemory()}
+	for i := 0; i < n; i++ {
+		in := &p.Insts[i]
+		stepGolden(res, in, i)
+	}
+	res.Executed = n
+	return res
+}
+
+// StepGolden executes one instruction against an existing golden state;
+// used by the simulator to maintain the committed-prefix reference image
+// incrementally.
+func StepGolden(res *GoldenResult, in *Inst, seq int) {
+	stepGolden(res, in, seq)
+	res.Executed++
+}
+
+func stepGolden(res *GoldenResult, in *Inst, seq int) {
+	s := &res.Regs
+	src1 := s.Read(in.Src1)
+	src2 := s.Read(in.Src2)
+	switch {
+	case in.Op == OpStore:
+		addr := WordAlign(in.Addr)
+		val := StoredValue(in, src1, 0)
+		res.Mem.WriteWord(addr, val)
+		res.StoreLog = append(res.StoreLog, StoreRecord{Seq: seq, Addr: addr, Val: val})
+	case in.Op == OpRMW:
+		addr := WordAlign(in.Addr)
+		old := res.Mem.ReadWord(addr)
+		val := StoredValue(in, src1, old)
+		res.Mem.WriteWord(addr, val)
+		res.StoreLog = append(res.StoreLog, StoreRecord{Seq: seq, Addr: addr, Val: val})
+		s.Write(in.Dst, Eval(in, src1, src2, old))
+	case in.Op == OpLoad:
+		word := res.Mem.ReadWord(in.Addr)
+		s.Write(in.Dst, Eval(in, src1, src2, word))
+	case in.Dst.Valid():
+		s.Write(in.Dst, Eval(in, src1, src2, 0))
+	}
+}

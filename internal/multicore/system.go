@@ -1,0 +1,348 @@
+// Package multicore assembles the full simulated machine: N out-of-order
+// cores over a shared cache hierarchy, a shared NVM device with its WPQ,
+// per-core redo paths for Capri, and the power-failure / checkpoint /
+// recovery orchestration. Section 6's multi-core recovery argument (DRF
+// programs have address-disjoint CSQs, so per-core replay order does not
+// matter) is directly testable through this package.
+package multicore
+
+import (
+	"fmt"
+
+	"ppa/internal/cache"
+	"ppa/internal/checkpoint"
+	"ppa/internal/nvm"
+	"ppa/internal/persist"
+	"ppa/internal/pipeline"
+	"ppa/internal/stats"
+	"ppa/internal/workload"
+)
+
+// Config assembles a machine.
+type Config struct {
+	Hierarchy cache.Params
+	NVM       nvm.Config
+	Pipeline  pipeline.Config // template; CoreID/Threads are set per core
+	Scheme    persist.Config
+}
+
+// DefaultConfig returns the Table 2 machine for n cores under a scheme.
+func DefaultConfig(n int, scheme persist.Config) Config {
+	hp := cache.DefaultParams(n)
+	switch scheme.Kind {
+	case persist.DRAMOnly:
+		hp.Mode = cache.DRAMOnly
+	case persist.EADR:
+		hp.Mode = cache.AppDirect
+	}
+	if scheme.ClwbPerStore {
+		// ReplayCache's clwb pushes each store's line down the whole
+		// hierarchy (L1 -> L2 -> DRAM cache -> memory controller) rather
+		// than using PPA's direct non-temporal writeback path: the persist
+		// acknowledgment is far slower, there is no lazy coalescing
+		// window, and each clwb writes back its own line (write
+		// amplification, Section 2.4).
+		hp.PersistTransit = 250
+		hp.PersistLag = 0
+		hp.CoalesceWB = false
+	}
+	return Config{
+		Hierarchy: hp,
+		NVM:       nvm.DefaultConfig(),
+		Pipeline:  pipeline.DefaultConfig(scheme),
+		Scheme:    scheme,
+	}
+}
+
+// System is one simulated machine bound to a workload.
+type System struct {
+	cfg   Config
+	w     *workload.Workload
+	dev   *nvm.Device
+	hier  *cache.Hierarchy
+	cores []*pipeline.Core
+	redos []*persist.RedoPath
+
+	cycle     uint64
+	lastFlush int
+}
+
+// NewSystemResumed builds a machine around a surviving NVM device (post
+// power failure) with every core resuming at its committed-prefix index —
+// the recovery protocol's "resume right after LCPC" step at system scale.
+func NewSystemResumed(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int) (*System, error) {
+	if len(startAt) != len(w.Threads) {
+		return nil, fmt.Errorf("multicore: %d resume points for %d threads", len(startAt), len(w.Threads))
+	}
+	s, err := newSystem(cfg, w, dev, startAt)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewSystem builds the machine and binds each thread of the workload to a
+// core.
+func NewSystem(cfg Config, w *workload.Workload) (*System, error) {
+	return newSystem(cfg, w, nil, nil)
+}
+
+func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int) (*System, error) {
+	if len(w.Threads) == 0 {
+		return nil, fmt.Errorf("multicore: workload has no threads")
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Hierarchy.Cores = len(w.Threads)
+
+	if dev == nil {
+		dev = nvm.NewDevice(cfg.NVM)
+	}
+	hier := cache.New(cfg.Hierarchy, dev, workload.WarmResident, workload.L2Resident)
+
+	s := &System{cfg: cfg, w: w, dev: dev, hier: hier}
+	var redo *persist.RedoPath
+	if cfg.Scheme.UseRedoPath {
+		redo = persist.NewRedoPath(len(w.Threads), cfg.Scheme.RedoBufBytes,
+			cfg.Scheme.RedoDrainCycles, dev)
+		s.redos = append(s.redos, redo)
+	}
+	for i, prog := range w.Threads {
+		pcfg := cfg.Pipeline
+		pcfg.CoreID = i
+		pcfg.Scheme = cfg.Scheme
+		pcfg.Threads = len(w.Threads)
+		pcfg.SyncContention = w.Profile.SyncContention
+		if startAt != nil {
+			pcfg.StartAt = startAt[i]
+		}
+		core, err := pipeline.New(pcfg, prog, hier, redo)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, core)
+	}
+	return s, nil
+}
+
+// Cycle returns the current simulation cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// Cores exposes the per-core pipelines.
+func (s *System) Cores() []*pipeline.Core { return s.cores }
+
+// Hierarchy exposes the memory system.
+func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// Device exposes the NVM device.
+func (s *System) Device() *nvm.Device { return s.dev }
+
+// Done reports whether every core has retired its whole trace.
+func (s *System) Done() bool {
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// step advances the machine one cycle.
+func (s *System) step() {
+	s.hier.Tick(s.cycle)
+	for _, r := range s.redos {
+		r.Tick(s.cycle)
+	}
+	for _, c := range s.cores {
+		c.Step(s.cycle)
+	}
+	s.cycle++
+}
+
+// Run executes until completion or maxCycles, returning an error on
+// timeout (which indicates a deadlock or a grossly miscalibrated model).
+func (s *System) Run(maxCycles uint64) error {
+	for !s.Done() {
+		if s.cycle >= maxCycles {
+			return fmt.Errorf("multicore: exceeded %d cycles with %d/%d insts committed",
+				maxCycles, s.committedInsts(), s.totalInsts())
+		}
+		s.step()
+	}
+	return nil
+}
+
+// RunUntil executes until the given cycle or completion, whichever first,
+// and reports whether the workload completed.
+func (s *System) RunUntil(cycle uint64) bool {
+	for !s.Done() && s.cycle < cycle {
+		s.step()
+	}
+	return s.Done()
+}
+
+func (s *System) committedInsts() int {
+	n := 0
+	for _, c := range s.cores {
+		n += c.Committed()
+	}
+	return n
+}
+
+func (s *System) totalInsts() int { return s.w.TotalInsts() }
+
+// Crash models a power failure at the current cycle: each core's recovery
+// state is JIT-checkpointed (PPA only persists its five structures; other
+// schemes get an empty image), then all volatile state is lost. The
+// encoded checkpoint blobs are written to the NVM checkpoint area.
+// For the eADR/BBB scheme the defining behaviour happens first: the
+// battery flushes every dirty byte from the volatile hierarchy to NVM —
+// the energy-hungry alternative PPA's 2 KB checkpoint replaces. The
+// flushed byte count is retrievable via LastCrashFlushBytes.
+func (s *System) Crash() []*checkpoint.Image {
+	s.lastFlush = 0
+	if s.cfg.Scheme.Kind == persist.EADR {
+		s.lastFlush = s.hier.FlushAllDirty()
+	}
+	images := make([]*checkpoint.Image, len(s.cores))
+	var blob []byte
+	for i, c := range s.cores {
+		im := checkpoint.Capture(c)
+		im.CoreID = i
+		images[i] = im
+		blob = append(blob, im.Encode()...)
+	}
+	s.dev.WriteCheckpoint(blob)
+	for _, r := range s.redos {
+		r.PowerFail()
+	}
+	s.hier.PowerFail()
+	return images
+}
+
+// LastCrashFlushBytes returns how many bytes the last Crash had to flush on
+// residual energy (non-zero only for flush-on-failure schemes like eADR).
+func (s *System) LastCrashFlushBytes() int { return s.lastFlush }
+
+// Result aggregates a completed run.
+type Result struct {
+	Scheme   persist.Config
+	Workload string
+	Cores    int
+
+	Cycles uint64
+	Insts  uint64
+
+	PerCore []*pipeline.Stats
+
+	// Memory-system aggregates.
+	L2MissRate         float64
+	DRAMCacheMissRate  float64
+	NVMReads           uint64
+	NVMLineWrites      uint64
+	NVMMediaWrites     uint64
+	NVMMaxLineWear     uint64
+	NVMWPQCoalesced    uint64
+	NVMRejectedFull    uint64
+	NVMAvgWPQOccupancy float64
+	WBCoalescedStores  uint64
+	WBEnqueuedLines    uint64
+}
+
+// Collect snapshots the run's results.
+func (s *System) Collect() *Result {
+	r := &Result{
+		Scheme:   s.cfg.Scheme,
+		Workload: s.w.Profile.Name,
+		Cores:    len(s.cores),
+		Cycles:   s.cycle,
+	}
+	for _, c := range s.cores {
+		st := c.Stats()
+		r.PerCore = append(r.PerCore, st)
+		r.Insts += st.Insts
+	}
+	r.L2MissRate = s.hier.L2MissRate()
+	r.DRAMCacheMissRate = s.hier.DRAMCacheMissRate()
+	r.NVMReads = s.dev.Reads
+	r.NVMLineWrites = s.dev.LineWrites
+	r.NVMMediaWrites = s.dev.MediaWrites
+	r.NVMMaxLineWear = s.dev.MaxLineWear()
+	r.NVMWPQCoalesced = s.dev.Coalesced
+	r.NVMRejectedFull = s.dev.RejectedFull
+	r.NVMAvgWPQOccupancy = s.dev.AvgWPQOccupancy()
+	r.WBEnqueuedLines, r.WBCoalescedStores = s.hier.WBStats()
+	return r
+}
+
+// IPC returns system instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// AvgRegionLen returns the mean region length across cores (instructions).
+func (r *Result) AvgRegionLen() float64 {
+	var xs []float64
+	for _, st := range r.PerCore {
+		if st.Regions > 0 {
+			xs = append(xs, st.AvgRegionLen())
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// AvgRegionStores returns the mean stores per region across cores.
+func (r *Result) AvgRegionStores() float64 {
+	var xs []float64
+	for _, st := range r.PerCore {
+		if st.Regions > 0 {
+			xs = append(xs, st.RegionStores.Mean())
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// RegionEndStallFrac returns region-end stall cycles as a fraction of
+// execution cycles (Figure 11's metric).
+func (r *Result) RegionEndStallFrac() float64 {
+	var stall, cyc float64
+	for _, st := range r.PerCore {
+		stall += float64(st.RegionEndStalls)
+		cyc += float64(st.Cycles)
+	}
+	return stats.Ratio(stall, cyc)
+}
+
+// RenameStallFrac returns rename out-of-registers stall cycles as a
+// fraction of execution cycles (Figure 12's metric).
+func (r *Result) RenameStallFrac() float64 {
+	var stall, cyc float64
+	for _, st := range r.PerCore {
+		stall += float64(st.RenameNoRegStalls)
+		cyc += float64(st.Cycles)
+	}
+	return stats.Ratio(stall, cyc)
+}
+
+// Run is the one-call convenience: build a system for (profile, scheme),
+// execute instsPerThread instructions per thread, and collect results.
+func Run(p workload.Profile, scheme persist.Config, instsPerThread int) (*Result, error) {
+	w, err := workload.New(p, instsPerThread)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultConfig(len(w.Threads), scheme)
+	sys, err := NewSystem(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	// Generous bound: no sane run needs 4000 cycles per instruction.
+	if err := sys.Run(uint64(instsPerThread)*4000 + 1_000_000); err != nil {
+		return nil, err
+	}
+	return sys.Collect(), nil
+}

@@ -1,0 +1,374 @@
+// Package nvm models the persistent main-memory device: a byte-addressable
+// NVM behind the machine's integrated memory controllers, each with a
+// bounded write-pending queue (WPQ), finite write bandwidth, and asymmetric
+// read/write latency, following the Intel PMEM characterization the paper
+// configures in Table 2 (175 ns reads, 90 ns writes, 16-entry WPQs,
+// 2.3 GB/s write bandwidth per DIMM, two integrated memory controllers).
+//
+// The WPQs sit inside the persistence domain (ADR): a write is durable the
+// moment it is accepted into a WPQ. The device also hosts the designated
+// checkpoint storage the JIT-checkpointing controller writes on power
+// failure (Section 4.5).
+package nvm
+
+import (
+	"fmt"
+
+	"ppa/internal/isa"
+)
+
+// Config holds the device parameters. All latencies are in core cycles.
+type Config struct {
+	// Channels is the number of memory controllers; lines interleave
+	// across them (Table 2: two integrated memory controllers).
+	Channels int
+	// ReadLatency is the full load-to-use latency of an NVM read.
+	ReadLatency int
+	// ReadOccupancy is how long one line read occupies its channel
+	// (bandwidth limit for streaming reads).
+	ReadOccupancy int
+	// WPQEntries is the per-channel write-pending-queue depth (Table 2: 16).
+	WPQEntries int
+	// WCBEntries is the per-channel media write-combining buffer depth:
+	// PMEM DIMMs internally buffer and combine writes (Optane's AIT/write
+	// buffering), so repeated writes to a resident line coalesce without
+	// consuming media bandwidth. The buffer drains least-recently-written
+	// lines first, keeping hot lines resident.
+	WCBEntries int
+	// WriteDrainCycles is how long writing one 64B line to the media
+	// occupies its channel; it encodes the per-channel write bandwidth
+	// (64 B / 2.3 GB/s at 2 GHz ~= 56 cycles).
+	WriteDrainCycles int
+	// CoalesceWPQ merges a newly accepted line into an already-queued entry
+	// for the same line (persist coalescing, Section 4.3).
+	CoalesceWPQ bool
+	// WearLeveling enables start-gap wear leveling over the media (the
+	// paper's PCM endurance citation); it affects wear accounting only.
+	WearLeveling bool
+	// WearRegionLines sizes each start-gap region (default 1<<16 lines).
+	WearRegionLines uint64
+	// WearPsi is the writes-per-gap-movement constant (default 100).
+	WearPsi uint64
+}
+
+// DefaultConfig returns the Table 2 configuration at a 2 GHz core clock.
+func DefaultConfig() Config {
+	return Config{
+		Channels:         2,
+		ReadLatency:      350, // 175 ns
+		ReadOccupancy:    22,  // ~6 GB/s streaming read bandwidth per channel
+		WPQEntries:       16,
+		WCBEntries:       256,
+		WriteDrainCycles: 56, // 2.3 GB/s write bandwidth per channel
+		CoalesceWPQ:      true,
+	}
+}
+
+// WithWriteBandwidth returns a copy of c with WriteDrainCycles set for the
+// given per-channel bandwidth in GB/s at a 2 GHz clock (Figure 18 sweeps
+// this).
+func (c Config) WithWriteBandwidth(gbps float64) Config {
+	if gbps <= 0 {
+		return c
+	}
+	c.WriteDrainCycles = int(float64(isa.LineSize) / (gbps / 2.0))
+	if c.WriteDrainCycles < 1 {
+		c.WriteDrainCycles = 1
+	}
+	return c
+}
+
+// wpqEntry is one pending line write inside the persistence domain.
+type wpqEntry struct {
+	line  uint64
+	words map[uint64]uint64
+}
+
+// channel is one memory controller's queue and media state. Only write
+// drains serialize on the channel clock: read requests are issued by the
+// out-of-order cores at arbitrary future cycles, so serializing them on a
+// scalar clock would let one far-future read block every near-term one
+// (an order-coupling artifact, not contention). Read-side bandwidth limits
+// are therefore folded into the fixed read latency, while a read arriving
+// mid-drain still pays for the non-preemptive write drain.
+//
+// The write path is WPQ (accept gate, persistence domain) -> WCB (media
+// write-combining buffer, also inside the persistence domain) -> media.
+type channel struct {
+	wpq       []wpqEntry
+	wcb       map[uint64]uint64 // line -> last-write stamp (LRW drain order)
+	wcbStamp  uint64
+	writeBusy uint64
+}
+
+// Device is the NVM main-memory device shared by all cores.
+type Device struct {
+	cfg   Config
+	image *isa.MapMemory // durable memory contents
+
+	chans []channel
+
+	// checkpoint is the designated JIT-checkpoint storage area; it is
+	// durable but separate from the memory image.
+	checkpoint []byte
+
+	// mediaWrites counts actual media programs per line (endurance/wear
+	// accounting; persist coalescing exists to keep this down). With wear
+	// leveling on, the key is the start-gap-translated physical slot.
+	mediaWrites map[uint64]uint64
+	MediaWrites uint64
+	sg          *StartGap
+
+	// Statistics.
+	Reads         uint64
+	LineWrites    uint64
+	Coalesced     uint64
+	RejectedFull  uint64
+	BytesWritten  uint64
+	WPQOccupancyX uint64 // sum of occupancy per accepted write, for averages
+}
+
+// NewDevice creates an NVM device with the given configuration.
+func NewDevice(cfg Config) *Device {
+	if cfg.WPQEntries <= 0 {
+		cfg.WPQEntries = 1
+	}
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	d := &Device{
+		cfg:   cfg,
+		image: isa.NewMapMemory(),
+		chans: make([]channel, cfg.Channels),
+	}
+	if cfg.WearLeveling {
+		n := cfg.WearRegionLines
+		if n == 0 {
+			n = 1 << 16
+		}
+		d.sg = NewStartGap(n, cfg.WearPsi)
+	}
+	return d
+}
+
+// wearKey maps a line to the media slot whose wear it consumes: the line
+// itself without leveling, or its start-gap-translated slot within its
+// region with leveling on.
+func (d *Device) wearKey(line uint64) uint64 {
+	idx := line / isa.LineSize
+	if d.sg == nil {
+		return idx
+	}
+	region := idx / d.sg.lines
+	return region*(d.sg.lines+1) + d.sg.Translate(idx%d.sg.lines)
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Image exposes the durable memory image (for recovery and verification).
+func (d *Device) Image() *isa.MapMemory { return d.image }
+
+// ReadWord returns the durable value of one word. Timing is accounted
+// separately via ReadAccess.
+func (d *Device) ReadWord(addr uint64) uint64 { return d.image.ReadWord(addr) }
+
+// chanOf maps a line to its memory controller (line-interleaved).
+func (d *Device) chanOf(line uint64) *channel {
+	return &d.chans[(line/isa.LineSize)%uint64(len(d.chans))]
+}
+
+// ReadAccess models the timing of a demand line read issued at the given
+// cycle and returns the cycle at which data is available.
+func (d *Device) ReadAccess(line uint64, cycle uint64) uint64 {
+	ch := d.chanOf(line)
+	start := cycle
+	// Write drains are non-preemptive: a read arriving mid-drain waits for
+	// the in-progress drain to finish. This is the WPQ contention that
+	// penalizes write-heavy PPA workloads (Section 7.2's rb discussion).
+	if ch.writeBusy > start {
+		start = ch.writeBusy
+	}
+	d.Reads++
+	return start + uint64(d.cfg.ReadLatency)
+}
+
+// WPQLen returns the total write-pending-queue occupancy across channels.
+func (d *Device) WPQLen() int {
+	n := 0
+	for i := range d.chans {
+		n += len(d.chans[i].wpq)
+	}
+	return n
+}
+
+// TryAccept offers one line write (with its dirty word values) to the
+// line's channel. On success the data is durable immediately (ADR domain):
+// the image is updated and true is returned. A write whose line is already
+// resident in the WPQ or the media write-combining buffer coalesces
+// without consuming a new entry; otherwise it needs a free WPQ slot.
+func (d *Device) TryAccept(line uint64, words map[uint64]uint64) bool {
+	ch := d.chanOf(line)
+	if d.cfg.CoalesceWPQ {
+		if ch.wcb != nil {
+			if _, ok := ch.wcb[line]; ok {
+				ch.wcbStamp++
+				ch.wcb[line] = ch.wcbStamp
+				d.applyWords(words)
+				d.Coalesced++
+				return true
+			}
+		}
+		for i := range ch.wpq {
+			if ch.wpq[i].line == line {
+				for a, v := range words {
+					ch.wpq[i].words[a] = v
+					d.image.WriteWord(a, v)
+				}
+				d.Coalesced++
+				return true
+			}
+		}
+	}
+	if len(ch.wpq) >= d.cfg.WPQEntries {
+		d.RejectedFull++
+		return false
+	}
+	cp := make(map[uint64]uint64, len(words))
+	for a, v := range words {
+		if isa.WordAlign(a) != a {
+			panic(fmt.Sprintf("nvm: unaligned word %#x", a))
+		}
+		cp[a] = v
+		d.image.WriteWord(a, v)
+	}
+	ch.wpq = append(ch.wpq, wpqEntry{line: line, words: cp})
+	d.LineWrites++
+	d.BytesWritten += isa.LineSize
+	d.WPQOccupancyX += uint64(len(ch.wpq))
+	return true
+}
+
+func (d *Device) applyWords(words map[uint64]uint64) {
+	for a, v := range words {
+		d.image.WriteWord(a, v)
+	}
+}
+
+// Tick advances the device one cycle. Per channel: one WPQ entry may move
+// into the write-combining buffer (fast), and when the buffer is above its
+// drain watermark and the media idle, the least-recently-written WCB line
+// drains, occupying the channel for WriteDrainCycles. Because the WCB is
+// inside the persistence domain there is no need to drain it eagerly, so
+// hot lines stay resident and absorb repeated persists without media
+// traffic — the behaviour Optane's internal write buffering provides.
+func (d *Device) Tick(cycle uint64) {
+	watermark := d.cfg.WCBEntries / 2
+	for i := range d.chans {
+		ch := &d.chans[i]
+
+		// WPQ -> WCB transfer (one per cycle, needs WCB space).
+		if len(ch.wpq) > 0 {
+			if ch.wcb == nil {
+				ch.wcb = make(map[uint64]uint64, d.cfg.WCBEntries)
+			}
+			if len(ch.wcb) < d.cfg.WCBEntries {
+				e := ch.wpq[0]
+				ch.wpq = ch.wpq[1:]
+				ch.wcbStamp++
+				ch.wcb[e.line] = ch.wcbStamp
+			}
+		}
+
+		// WCB -> media drain (least recently written first).
+		if len(ch.wcb) <= watermark || ch.writeBusy > cycle {
+			continue
+		}
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for l, stamp := range ch.wcb {
+			if stamp < oldest {
+				oldest = stamp
+				victim = l
+			}
+		}
+		delete(ch.wcb, victim)
+		ch.writeBusy = cycle + uint64(d.cfg.WriteDrainCycles)
+		if d.mediaWrites == nil {
+			d.mediaWrites = make(map[uint64]uint64)
+		}
+		d.mediaWrites[d.wearKey(victim)]++
+		d.MediaWrites++
+		if d.sg != nil && d.sg.OnWrite() {
+			// A gap movement copies one line: one extra media program.
+			d.MediaWrites++
+		}
+	}
+}
+
+// MaxLineWear returns the largest media program count any single line has
+// seen — the endurance hot spot wear-leveling would target.
+func (d *Device) MaxLineWear() uint64 {
+	var max uint64
+	for _, n := range d.mediaWrites {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// WornLines returns how many distinct lines were programmed at the media.
+func (d *Device) WornLines() int { return len(d.mediaWrites) }
+
+// Drained reports whether every WPQ has been accepted into the persistence
+// domain and the media is idle. WCB residency is irrelevant to durability:
+// its contents are already persistent.
+func (d *Device) Drained(cycle uint64) bool {
+	for i := range d.chans {
+		ch := &d.chans[i]
+		if len(ch.wpq) > 0 || ch.writeBusy > cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// AvgWPQOccupancy returns the mean channel WPQ occupancy observed at
+// accept time.
+func (d *Device) AvgWPQOccupancy() float64 {
+	if d.LineWrites == 0 {
+		return 0
+	}
+	return float64(d.WPQOccupancyX) / float64(d.LineWrites)
+}
+
+// WriteCheckpoint stores the JIT-checkpoint blob durably (Section 4.5). It
+// is called by the checkpoint controller while running on residual
+// capacitor energy, so it has no timing interaction with the WPQs.
+func (d *Device) WriteCheckpoint(blob []byte) {
+	d.checkpoint = append(d.checkpoint[:0], blob...)
+}
+
+// ReadCheckpoint returns the stored checkpoint blob (nil if none).
+func (d *Device) ReadCheckpoint() []byte {
+	if d.checkpoint == nil {
+		return nil
+	}
+	out := make([]byte, len(d.checkpoint))
+	copy(out, d.checkpoint)
+	return out
+}
+
+// ClearCheckpoint erases the checkpoint area (after successful recovery).
+func (d *Device) ClearCheckpoint() { d.checkpoint = nil }
+
+// PowerFail models the device across a power failure: the WPQs are inside
+// the persistence domain, so accepted-but-undrained entries are NOT lost;
+// only the volatile caches above lose state. The queues are considered
+// flushed by ADR during the outage.
+func (d *Device) PowerFail() {
+	for i := range d.chans {
+		d.chans[i] = channel{}
+	}
+}

@@ -1,0 +1,337 @@
+package nvm
+
+import (
+	"testing"
+
+	"ppa/internal/isa"
+)
+
+func words(pairs ...uint64) map[uint64]uint64 {
+	m := map[uint64]uint64{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i]] = pairs[i+1]
+	}
+	return m
+}
+
+func TestAcceptIsDurableImmediately(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	if !d.TryAccept(0x1000, words(0x1000, 42)) {
+		t.Fatal("accept failed")
+	}
+	// ADR domain: durable at accept, before any drain.
+	if d.ReadWord(0x1000) != 42 {
+		t.Fatal("accepted write not durable")
+	}
+	// And it survives a power failure.
+	d.PowerFail()
+	if d.ReadWord(0x1000) != 42 {
+		t.Fatal("WPQ contents lost across power failure")
+	}
+}
+
+func TestWPQCapacityAndRejection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.WPQEntries = 2
+	d := NewDevice(cfg)
+	if !d.TryAccept(0x0, words(0x0, 1)) || !d.TryAccept(0x40, words(0x40, 2)) {
+		t.Fatal("first two accepts must succeed")
+	}
+	if d.TryAccept(0x80, words(0x80, 3)) {
+		t.Fatal("third accept must be rejected (WPQ full)")
+	}
+	if d.RejectedFull != 1 {
+		t.Fatalf("rejections = %d", d.RejectedFull)
+	}
+	if d.WPQLen() != 2 {
+		t.Fatalf("WPQ len %d", d.WPQLen())
+	}
+}
+
+func TestWPQCoalescing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.WPQEntries = 1
+	d := NewDevice(cfg)
+	if !d.TryAccept(0x1000, words(0x1000, 1)) {
+		t.Fatal("accept failed")
+	}
+	// Same line coalesces even though the WPQ is full.
+	if !d.TryAccept(0x1000, words(0x1008, 2)) {
+		t.Fatal("same-line write must coalesce")
+	}
+	if d.Coalesced != 1 {
+		t.Fatalf("coalesced = %d", d.Coalesced)
+	}
+	if d.ReadWord(0x1008) != 2 {
+		t.Fatal("coalesced word not durable")
+	}
+	// A different line is rejected.
+	if d.TryAccept(0x2000, words(0x2000, 3)) {
+		t.Fatal("different line must be rejected")
+	}
+}
+
+func TestCoalescingDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.WPQEntries = 1
+	cfg.CoalesceWPQ = false
+	d := NewDevice(cfg)
+	d.TryAccept(0x1000, words(0x1000, 1))
+	if d.TryAccept(0x1000, words(0x1008, 2)) {
+		t.Fatal("coalescing disabled: same line must still need a slot")
+	}
+}
+
+func TestDrainFreesSlots(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.WPQEntries = 1
+	cfg.WCBEntries = 4
+	d := NewDevice(cfg)
+	d.TryAccept(0x0, words(0x0, 1))
+	if d.TryAccept(0x40, words(0x40, 2)) {
+		t.Fatal("should be full")
+	}
+	// One tick moves the entry into the write-combining buffer.
+	d.Tick(0)
+	if !d.TryAccept(0x40, words(0x40, 2)) {
+		t.Fatal("slot must free after WPQ->WCB transfer")
+	}
+}
+
+func TestWCBCoalescingKeepsHotLineResident(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.WPQEntries = 4
+	cfg.WCBEntries = 4
+	cfg.WriteDrainCycles = 10
+	d := NewDevice(cfg)
+	d.TryAccept(0x0, words(0x0, 1))
+	d.Tick(0) // into WCB; drain starts
+	lw := d.LineWrites
+	// Repeated writes to the WCB-resident line coalesce without new
+	// entries.
+	for i := 0; i < 5; i++ {
+		if !d.TryAccept(0x0, words(0x0, uint64(i))) {
+			t.Fatal("WCB-resident line must coalesce")
+		}
+	}
+	if d.LineWrites != lw {
+		t.Fatal("coalesced writes must not count as new line writes")
+	}
+	if d.Coalesced < 5 {
+		t.Fatalf("coalesced = %d", d.Coalesced)
+	}
+}
+
+func TestDrainedAndTickProgress(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.WriteDrainCycles = 10
+	d := NewDevice(cfg)
+	d.TryAccept(0x0, words(0x0, 1))
+	if d.Drained(0) {
+		t.Fatal("not drained with a queued entry")
+	}
+	cycle := uint64(0)
+	for ; cycle < 100 && !d.Drained(cycle); cycle++ {
+		d.Tick(cycle)
+	}
+	if !d.Drained(cycle) {
+		t.Fatal("device never drained")
+	}
+}
+
+func TestChannelsInterleaveByLine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	cfg.WPQEntries = 1
+	d := NewDevice(cfg)
+	// Lines 0 and 64 land on different channels: both accepts succeed
+	// even with one WPQ slot each.
+	if !d.TryAccept(0x0, words(0x0, 1)) || !d.TryAccept(0x40, words(0x40, 2)) {
+		t.Fatal("adjacent lines must use different channels")
+	}
+	// Lines 0 and 128 share channel 0: second is rejected.
+	if d.TryAccept(0x80, words(0x80, 3)) {
+		t.Fatal("same-channel line must be rejected")
+	}
+}
+
+func TestReadTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	d := NewDevice(cfg)
+	done := d.ReadAccess(0x0, 100)
+	if done != 100+uint64(cfg.ReadLatency) {
+		t.Fatalf("read done at %d", done)
+	}
+	if d.Reads != 1 {
+		t.Fatal("read not counted")
+	}
+}
+
+func TestReadWaitsForInProgressDrain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.WriteDrainCycles = 50
+	cfg.WCBEntries = 2 // watermark 1: a second line triggers a drain
+	d := NewDevice(cfg)
+	d.TryAccept(0x0, words(0x0, 1))
+	d.TryAccept(0x40, words(0x40, 2))
+	d.Tick(0) // line 0 -> WCB
+	d.Tick(1) // line 1 -> WCB; above watermark: drain starts, busy to 51
+	done := d.ReadAccess(0x0, 10)
+	if done != 51+uint64(cfg.ReadLatency) {
+		t.Fatalf("read must wait for the drain: done=%d", done)
+	}
+}
+
+func TestWithWriteBandwidth(t *testing.T) {
+	cfg := DefaultConfig().WithWriteBandwidth(1.0)
+	if cfg.WriteDrainCycles != 128 {
+		t.Fatalf("1GB/s at 2GHz = 128 cycles/line, got %d", cfg.WriteDrainCycles)
+	}
+	cfg = DefaultConfig().WithWriteBandwidth(0) // no-op
+	if cfg.WriteDrainCycles != DefaultConfig().WriteDrainCycles {
+		t.Fatal("zero bandwidth must not change the config")
+	}
+}
+
+func TestCheckpointArea(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	if d.ReadCheckpoint() != nil {
+		t.Fatal("fresh device has no checkpoint")
+	}
+	blob := []byte{1, 2, 3}
+	d.WriteCheckpoint(blob)
+	got := d.ReadCheckpoint()
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatal("checkpoint roundtrip failed")
+	}
+	got[0] = 99
+	if d.ReadCheckpoint()[0] != 1 {
+		t.Fatal("ReadCheckpoint must return a copy")
+	}
+	// The checkpoint survives a power failure.
+	d.PowerFail()
+	if d.ReadCheckpoint() == nil {
+		t.Fatal("checkpoint lost across power failure")
+	}
+	d.ClearCheckpoint()
+	if d.ReadCheckpoint() != nil {
+		t.Fatal("checkpoint not cleared")
+	}
+}
+
+func TestUnalignedWordPanics(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned word must panic")
+		}
+	}()
+	d.TryAccept(0x0, map[uint64]uint64{0x3: 1})
+}
+
+func TestStatsAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	d := NewDevice(cfg)
+	for i := uint64(0); i < 4; i++ {
+		d.TryAccept(i*isa.LineSize, words(i*isa.LineSize, i))
+	}
+	if d.LineWrites != 4 {
+		t.Fatalf("line writes %d", d.LineWrites)
+	}
+	if d.BytesWritten != 4*isa.LineSize {
+		t.Fatalf("bytes %d", d.BytesWritten)
+	}
+	if d.AvgWPQOccupancy() <= 0 {
+		t.Fatal("occupancy must be positive")
+	}
+}
+
+func TestStartGapTranslateBijective(t *testing.T) {
+	sg := NewStartGap(16, 4)
+	for round := 0; round < 50; round++ {
+		seen := map[uint64]bool{}
+		for l := uint64(0); l < 16; l++ {
+			p := sg.Translate(l)
+			if p > 16 {
+				t.Fatalf("slot %d out of range", p)
+			}
+			if seen[p] {
+				t.Fatalf("round %d: slot %d mapped twice", round, p)
+			}
+			seen[p] = true
+		}
+		sg.OnWrite()
+	}
+}
+
+func TestStartGapRotates(t *testing.T) {
+	sg := NewStartGap(8, 2)
+	before := sg.Translate(3)
+	moved := false
+	for i := 0; i < 40; i++ {
+		if sg.OnWrite() {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("gap never moved")
+	}
+	if sg.GapMoves == 0 {
+		t.Fatal("gap moves not counted")
+	}
+	// After enough movements the mapping of a line changes.
+	changed := false
+	for i := 0; i < 200; i++ {
+		sg.OnWrite()
+		if sg.Translate(3) != before {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("mapping never rotated")
+	}
+}
+
+func TestWearLevelingSpreadsHotLine(t *testing.T) {
+	run := func(level bool) (max uint64, slots int) {
+		cfg := DefaultConfig()
+		cfg.Channels = 1
+		cfg.WCBEntries = 2 // force frequent media drains
+		cfg.WriteDrainCycles = 1
+		cfg.WearLeveling = level
+		cfg.WearRegionLines = 64
+		cfg.WearPsi = 4
+		d := NewDevice(cfg)
+		cycle := uint64(0)
+		// Hammer one line plus a rotating cold line so the WCB keeps
+		// draining the hot line to media.
+		for i := 0; i < 4000; i++ {
+			d.TryAccept(0x0, map[uint64]uint64{0x0: uint64(i)})
+			coldLine := uint64(1+(i%32)) * 128
+			d.TryAccept(coldLine, map[uint64]uint64{coldLine: 1})
+			for j := 0; j < 6; j++ {
+				d.Tick(cycle)
+				cycle++
+			}
+		}
+		return d.MaxLineWear(), d.WornLines()
+	}
+	maxPlain, _ := run(false)
+	maxLeveled, slotsLeveled := run(true)
+	if maxLeveled >= maxPlain {
+		t.Fatalf("wear leveling did not reduce hot-line wear: %d vs %d", maxLeveled, maxPlain)
+	}
+	if slotsLeveled < 2 {
+		t.Fatal("leveling must spread wear across slots")
+	}
+}

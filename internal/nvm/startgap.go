@@ -1,0 +1,68 @@
+package nvm
+
+// Start-gap wear leveling (Qureshi et al., MICRO'09 — the paper's citation
+// [121] for PCM main memory): a region of N lines plus one spare "gap"
+// line. Every psi writes, the gap moves one slot, slowly rotating the
+// logical-to-physical mapping so hot lines spread their wear across the
+// whole region. Two registers (start, gap) and a counter implement it —
+// the same spirit of minimal hardware as PPA itself.
+//
+// The leveler affects wear accounting and channel assignment only; the
+// durable image stays logically addressed, so persistence semantics are
+// untouched.
+
+// StartGap is the wear-leveling engine for one region of lines.
+type StartGap struct {
+	lines uint64 // region capacity in lines (physical slots = lines+1)
+	psi   uint64 // writes between gap movements (canonical: 100)
+
+	start  uint64 // rotation offset
+	gap    uint64 // current gap position
+	writes uint64 // writes since the last gap movement
+
+	// GapMoves counts gap movements (each costs one line copy in real
+	// hardware; we account it as an extra media write).
+	GapMoves uint64
+}
+
+// NewStartGap builds a leveler over a region of n lines, moving the gap
+// every psi writes.
+func NewStartGap(n, psi uint64) *StartGap {
+	if n == 0 {
+		n = 1
+	}
+	if psi == 0 {
+		psi = 100
+	}
+	return &StartGap{lines: n, psi: psi, gap: n}
+}
+
+// Translate maps a logical line index (0..lines-1) to its current physical
+// slot (0..lines, one slot being the gap).
+func (s *StartGap) Translate(logical uint64) uint64 {
+	logical %= s.lines
+	phys := (logical + s.start) % (s.lines + 1)
+	if phys >= s.gap {
+		// Slots at or above the gap are shifted by one.
+		phys = (phys + 1) % (s.lines + 1)
+	}
+	return phys
+}
+
+// OnWrite records one line write and moves the gap when due. It returns
+// true when a gap movement happened (an extra media copy).
+func (s *StartGap) OnWrite() bool {
+	s.writes++
+	if s.writes < s.psi {
+		return false
+	}
+	s.writes = 0
+	s.GapMoves++
+	if s.gap == 0 {
+		s.gap = s.lines
+		s.start = (s.start + 1) % (s.lines + 1)
+	} else {
+		s.gap--
+	}
+	return true
+}

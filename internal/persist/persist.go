@@ -1,0 +1,331 @@
+// Package persist defines the persistence schemes the paper evaluates and
+// the knobs that distinguish them. One pipeline engine executes all of
+// them; a scheme is a configuration of region policy, persist path, and
+// barrier semantics:
+//
+//   - Baseline: PMEM memory mode, no persistence machinery (the normalizing
+//     denominator of Figures 8-19).
+//   - PPA: dynamic PRF-bounded regions, MaskReg store integrity, CSQ,
+//     asynchronous store persistence through the L1D write buffer.
+//   - ReplayCache: compiler-formed short regions (~12 instructions) with a
+//     clwb after every store that occupies a store-queue entry until the
+//     persist acknowledges (Section 2.4, Figure 1).
+//   - Capri: compiler/hardware regions (~29 instructions) persisting stores
+//     through a dedicated battery-backed redo buffer with its own persist
+//     path (Section 8, Figure 8).
+//   - EADR (BBB): ideal partial-system persistence in app-direct mode — no
+//     DRAM cache, stores durable for free (Figure 10).
+//   - DRAMOnly: conventional volatile DRAM system (Figure 9 reference).
+package persist
+
+import (
+	"fmt"
+
+	"ppa/internal/isa"
+	"ppa/internal/nvm"
+)
+
+// Kind enumerates the schemes.
+type Kind int
+
+const (
+	Baseline Kind = iota
+	PPA
+	ReplayCache
+	Capri
+	EADR
+	DRAMOnly
+	// SBGate is Section 6's rejected alternative: retired stores are gated
+	// in the store buffer (not merged into L1D) until the region persists.
+	// Implemented to quantify the paper's argument against it.
+	SBGate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Baseline:
+		return "baseline"
+	case PPA:
+		return "ppa"
+	case ReplayCache:
+		return "replaycache"
+	case Capri:
+		return "capri"
+	case EADR:
+		return "eadr"
+	case DRAMOnly:
+		return "dram-only"
+	case SBGate:
+		return "sb-gate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// BarrierModel selects how a region boundary interacts with the pipeline.
+type BarrierModel int
+
+const (
+	// BarrierNone: no region boundaries (Baseline, EADR, DRAMOnly).
+	BarrierNone BarrierModel = iota
+	// BarrierRelaxed: the boundary waits until every persist enqueued up
+	// to the boundary snapshot is durable; commit (for rename-side
+	// boundaries) or rename (for commit-side ones) keeps flowing meanwhile
+	// (PPA's dynamic boundary, ReplayCache's sfence).
+	BarrierRelaxed
+	// BarrierStoreGate: a commit-side boundary that waits for the
+	// dedicated persist path's durability acknowledgment plus a fixed
+	// bookkeeping bubble (Capri's battery-backed redo path).
+	BarrierStoreGate
+	// BarrierFullDrain: the boundary additionally drains the ROB before
+	// the region may close — a full persist fence (PPA's StrictBarrier
+	// ablation).
+	BarrierFullDrain
+)
+
+// Config is a fully specified scheme.
+type Config struct {
+	Kind    Kind
+	Barrier BarrierModel
+
+	// DynamicRegions enables PPA's PRF-exhaustion region formation.
+	DynamicRegions bool
+	// FixedRegionLen forms a region boundary every N renamed instructions
+	// (ReplayCache ~12, Capri ~29); 0 disables.
+	FixedRegionLen int
+	// BoundaryBubble is the fixed rename bubble charged at a
+	// BarrierStoreGate boundary (Capri's region bookkeeping).
+	BoundaryBubble int
+
+	// CSQEntries sizes the committed store queue (Table 2: 40). 0 disables
+	// the CSQ (schemes other than PPA).
+	CSQEntries int
+	// MaskAllOperands masks every store operand register instead of only
+	// the data register (the footnote-10 ablation).
+	MaskAllOperands bool
+	// ValueCSQ stores data values in the CSQ instead of PRF indexes (the
+	// Section 6 in-order-core variant).
+	ValueCSQ bool
+	// SyncStorePersist is the no-async-writeback ablation: a committed
+	// store stalls commit until its persist is accepted.
+	SyncStorePersist bool
+	// EagerFlush starts flushing the write buffer when the CSQ is
+	// three-quarters full, hiding the boundary tail — an extension beyond
+	// the paper's design, off by default.
+	EagerFlush bool
+	// GateStoreBuffer holds retired stores in the store buffer — neither
+	// merged into L1D nor written back — until the region boundary, where
+	// they flush and persist in one burst (the Section 6 alternative).
+	// Requires ValueCSQ (the gated data is the recovery log).
+	GateStoreBuffer bool
+
+	// AsyncPersist routes committed stores through the L1D write buffer to
+	// the WPQ (PPA and ReplayCache's clwb path).
+	AsyncPersist bool
+	// ClwbPerStore models ReplayCache's clwb: each store occupies an extra
+	// rename slot and holds its store-queue entry until the persist is
+	// accepted.
+	ClwbPerStore bool
+
+	// UseRedoPath routes committed stores through a dedicated
+	// battery-backed redo buffer (Capri).
+	UseRedoPath bool
+	// RedoBufBytes is the per-core redo buffer capacity (Capri: 54 KB).
+	RedoBufBytes int
+	// RedoDrainCycles is the shared persist path's drain time for one
+	// 8-byte redo entry, encoding its bandwidth (4 GB/s at 2 GHz = 4).
+	RedoDrainCycles int
+
+	// SyncIsBoundary makes synchronization primitives region boundaries
+	// (Section 6; always true for PPA).
+	SyncIsBoundary bool
+}
+
+// PPADefault returns the paper's PPA configuration (Table 2).
+func PPADefault() Config {
+	return Config{
+		Kind:           PPA,
+		Barrier:        BarrierRelaxed,
+		DynamicRegions: true,
+		CSQEntries:     40,
+		AsyncPersist:   true,
+		SyncIsBoundary: true,
+	}
+}
+
+// BaselineDefault returns the memory-mode baseline.
+func BaselineDefault() Config { return Config{Kind: Baseline, Barrier: BarrierNone} }
+
+// ReplayCacheDefault returns the ReplayCache configuration: compiler-formed
+// ~12-instruction regions, clwb per store, full persist fences.
+func ReplayCacheDefault() Config {
+	return Config{
+		Kind:           ReplayCache,
+		Barrier:        BarrierRelaxed,
+		FixedRegionLen: 12,
+		AsyncPersist:   true,
+		ClwbPerStore:   true,
+		SyncIsBoundary: true,
+	}
+}
+
+// CapriDefault returns the Capri configuration: ~29-instruction regions, a
+// 54 KB battery-backed redo buffer per core draining at 4 GB/s.
+func CapriDefault() Config {
+	return Config{
+		Kind:            Capri,
+		Barrier:         BarrierStoreGate,
+		FixedRegionLen:  29,
+		BoundaryBubble:  12, // persist-path round trip for the drain ack
+		UseRedoPath:     true,
+		RedoBufBytes:    54 << 10,
+		RedoDrainCycles: 4,
+		SyncIsBoundary:  true,
+	}
+}
+
+// EADRDefault returns the ideal PSP (eADR/BBB) configuration.
+func EADRDefault() Config { return Config{Kind: EADR, Barrier: BarrierNone} }
+
+// SBGateDefault returns the store-buffer-gating alternative: the 56-entry
+// store buffer is the recovery log (value-bearing entries); a full buffer
+// is the region boundary, where all gated stores merge into L1D and
+// persist in one burst.
+func SBGateDefault() Config {
+	return Config{
+		Kind:            SBGate,
+		Barrier:         BarrierRelaxed,
+		CSQEntries:      56, // the SB itself
+		ValueCSQ:        true,
+		GateStoreBuffer: true,
+		AsyncPersist:    true,
+		SyncIsBoundary:  true,
+	}
+}
+
+// DRAMOnlyDefault returns the volatile DRAM system configuration.
+func DRAMOnlyDefault() Config { return Config{Kind: DRAMOnly, Barrier: BarrierNone} }
+
+// Persistent reports whether the scheme provides whole-system persistence
+// with crash consistency.
+func (c Config) Persistent() bool {
+	switch c.Kind {
+	case PPA, ReplayCache, Capri, SBGate:
+		return true
+	case EADR:
+		return true // persistent for its app-direct data, but PSP-scoped
+	default:
+		return false
+	}
+}
+
+// Validate reports configuration inconsistencies.
+func (c Config) Validate() error {
+	if c.DynamicRegions && c.FixedRegionLen > 0 {
+		return fmt.Errorf("persist: dynamic and fixed regions are mutually exclusive")
+	}
+	if c.Kind == PPA && c.CSQEntries <= 0 {
+		return fmt.Errorf("persist: PPA requires a CSQ")
+	}
+	if c.UseRedoPath && c.RedoBufBytes <= 0 {
+		return fmt.Errorf("persist: redo path requires a buffer size")
+	}
+	if c.AsyncPersist && c.UseRedoPath {
+		return fmt.Errorf("persist: choose one persist path")
+	}
+	if c.GateStoreBuffer && !c.ValueCSQ {
+		return fmt.Errorf("persist: store-buffer gating requires value-bearing entries")
+	}
+	if c.GateStoreBuffer && !c.AsyncPersist {
+		return fmt.Errorf("persist: store-buffer gating flushes through the async persist path")
+	}
+	return nil
+}
+
+// RedoPath models Capri's redo-logging persist machinery: per-core
+// battery-backed redo buffers (54 KB each) feeding one shared persist path
+// to NVM with a fixed bandwidth (the paper sets it to a realistic 4 GB/s).
+// The buffers are battery-backed, so a store is durable at accept; but
+// Capri's region protocol moves each region's stores from the buffer to
+// NVM through the shared path and stalls the next region on that drain —
+// the cost the paper attributes to Capri's 11x-shorter regions.
+type RedoPath struct {
+	perCoreCap int // entries (8 bytes each) per core
+	drainCyc   int // shared-path cycles per 8-byte entry (4 GB/s = 4)
+	dev        *nvm.Device
+
+	queue    []uint8 // FIFO of core ids on the shared path
+	pending  []int   // per-core outstanding entries
+	busyTill uint64
+
+	Accepts  uint64
+	Rejects  uint64
+	MaxDepth int
+}
+
+// NewRedoPath builds the shared redo machinery for n cores: bufBytes of
+// buffer per core, one shared path draining an 8-byte entry every
+// drainCycles.
+func NewRedoPath(cores, bufBytes, drainCycles int, dev *nvm.Device) *RedoPath {
+	if cores < 1 {
+		cores = 1
+	}
+	cap := bufBytes / isa.WordSize
+	if cap < 1 {
+		cap = 1
+	}
+	if drainCycles < 1 {
+		drainCycles = 1
+	}
+	return &RedoPath{
+		perCoreCap: cap,
+		drainCyc:   drainCycles,
+		dev:        dev,
+		pending:    make([]int, cores),
+	}
+}
+
+// TryAccept offers one committed store from a core; on success the value
+// is durable (battery-backed buffer) and queued for the shared path.
+func (r *RedoPath) TryAccept(core int, addr, val uint64) bool {
+	if r.pending[core] >= r.perCoreCap {
+		r.Rejects++
+		return false
+	}
+	r.pending[core]++
+	r.queue = append(r.queue, uint8(core))
+	if len(r.queue) > r.MaxDepth {
+		r.MaxDepth = len(r.queue)
+	}
+	r.dev.Image().WriteWord(isa.WordAlign(addr), val)
+	r.Accepts++
+	return true
+}
+
+// Full reports whether a core's buffer cannot accept a store.
+func (r *RedoPath) Full(core int) bool { return r.pending[core] >= r.perCoreCap }
+
+// PendingOf returns a core's undrained entry count — Capri's region
+// boundary waits for this to reach zero.
+func (r *RedoPath) PendingOf(core int) int { return r.pending[core] }
+
+// Tick drains the shared path at its bandwidth.
+func (r *RedoPath) Tick(cycle uint64) {
+	if len(r.queue) == 0 || r.busyTill > cycle {
+		return
+	}
+	core := r.queue[0]
+	r.queue = r.queue[1:]
+	r.pending[core]--
+	r.busyTill = cycle + uint64(r.drainCyc)
+}
+
+// PowerFail models the outage: battery-backed contents flush to NVM (they
+// were already reflected in the image at accept), so the buffers empty.
+func (r *RedoPath) PowerFail() {
+	r.queue = nil
+	for i := range r.pending {
+		r.pending[i] = 0
+	}
+	r.busyTill = 0
+}

@@ -1,0 +1,917 @@
+// Package pipeline implements the cycle-level out-of-order core model and
+// every persistence scheme's interaction with it: register renaming with
+// store-integrity masking, dynamic region formation on PRF exhaustion
+// (Section 4.2), the committed store queue (CSQ) and last-committed-PC
+// (LCPC) registers (Section 4.4), asynchronous store persistence
+// (Section 4.3), and the fixed-region compiler schemes used as baselines
+// (ReplayCache, Capri).
+//
+// The model is trace-driven and speculation-free: branch mispredictions
+// cost frontend stall cycles but no wrong-path instructions execute, so
+// every renamed instruction eventually commits. Functional values are
+// computed in program order at rename time (an oracle frontend), which
+// makes the physical register file carry exactly the values a real core
+// would hold — the property PPA's store replay depends on.
+package pipeline
+
+import (
+	"fmt"
+
+	"ppa/internal/cache"
+	"ppa/internal/isa"
+	"ppa/internal/persist"
+	"ppa/internal/rename"
+	"ppa/internal/stats"
+)
+
+// Config parameterizes one core.
+type Config struct {
+	CoreID int
+	Width  int // fetch/rename/commit width (Table 2: 4)
+
+	ROBSize int // Table 2: 224
+	LQSize  int // Table 2: 72
+	SQSize  int // Table 2: 56
+
+	// PipeDepth is the rename-to-execute front latency; it is also the
+	// refill bubble after a pipeline redirect.
+	PipeDepth int
+
+	// MispredictRate is the fraction of branches that mispredict;
+	// MispredictPenalty adds redirect cycles beyond the resolve point.
+	MispredictRate    float64
+	MispredictPenalty int
+
+	// SyncBaseCost and SyncContention model the serialization cost of
+	// synchronization primitives in multi-threaded workloads; Threads
+	// scales contention.
+	SyncBaseCost   int
+	SyncContention float64
+	Threads        int
+
+	Rename rename.Config
+	Scheme persist.Config
+
+	// SampleFreeRegs enables the per-cycle free-register CDFs (Figure 5).
+	SampleFreeRegs bool
+
+	// TraceRegions records a RegionRecord for every region the core forms
+	// (timeline analysis; costs memory proportional to region count).
+	TraceRegions bool
+
+	// StartAt begins execution at a dynamic instruction index (used to
+	// resume a recovered program after LCPC).
+	StartAt int
+}
+
+// DefaultConfig returns the Table 2 core with the given scheme.
+func DefaultConfig(scheme persist.Config) Config {
+	return Config{
+		Width:             4,
+		ROBSize:           224,
+		LQSize:            72,
+		SQSize:            56,
+		PipeDepth:         8,
+		MispredictRate:    0.04,
+		MispredictPenalty: 6,
+		SyncBaseCost:      30,
+		SyncContention:    1.0,
+		Threads:           1,
+		Rename:            rename.DefaultConfig(),
+		Scheme:            scheme,
+	}
+}
+
+// BoundaryCause labels why a region ended.
+type BoundaryCause int
+
+const (
+	// BoundaryPRF: the free list ran out at rename (PPA's dynamic trigger).
+	BoundaryPRF BoundaryCause = iota
+	// BoundaryCSQ: the committed store queue filled (implicit boundary).
+	BoundaryCSQ
+	// BoundarySync: a synchronization primitive committed (Section 6).
+	BoundarySync
+	// BoundaryFixed: a compiler-scheme fixed-length region ended.
+	BoundaryFixed
+	numBoundaryCauses
+)
+
+func (b BoundaryCause) String() string {
+	switch b {
+	case BoundaryPRF:
+		return "prf-exhausted"
+	case BoundaryCSQ:
+		return "csq-full"
+	case BoundarySync:
+		return "sync"
+	case BoundaryFixed:
+		return "fixed"
+	default:
+		return "unknown"
+	}
+}
+
+// CSQEntry is one committed store tracked for replay (Section 4.4). The
+// hardware entry is (physical register index, physical address); Val
+// additionally records the store's value for the ValueCSQ variant and for
+// invariant checking. RMW entries always carry their value (ValueBearing):
+// an atomic's old+data result is produced in the LSU and no physical
+// register holds it, so PPA latches it into the 8-byte CSQ data field the
+// Section 6 in-order variant already provides.
+type CSQEntry struct {
+	Phys rename.PhysRef
+	Addr uint64
+	Val  uint64
+	Seq  int
+	// ValueBearing marks entries replayed from Val rather than the PRF.
+	ValueBearing bool
+}
+
+// Stats aggregates one core's measurements.
+type Stats struct {
+	Cycles uint64
+	Insts  uint64
+	Stores uint64
+
+	// Region accounting.
+	Regions        uint64
+	RegionOther    stats.Histogram // non-store instructions per region
+	RegionStores   stats.Histogram // stores per region
+	BoundaryCounts [numBoundaryCauses]uint64
+
+	// Stall accounting (cycles).
+	RegionEndStalls   uint64 // waiting for persists at a boundary (Fig 11)
+	RenameNoRegStalls uint64 // free list empty, no boundary taken (Fig 12)
+	ROBFullStalls     uint64
+	SQFullStalls      uint64
+	LQFullStalls      uint64
+	WBFullStalls      uint64 // commit blocked: write buffer full
+	RedoFullStalls    uint64 // commit blocked: redo buffer full
+	FrontendStalls    uint64 // branch redirects
+	SyncStalls        uint64
+
+	// CSQ behaviour.
+	CSQMaxDepth int
+
+	// Occupancy sampling.
+	ROBOccupancySum uint64
+
+	// Free-register CDFs (only when sampling is enabled).
+	FreeInt *stats.CDF
+	FreeFP  *stats.CDF
+
+	// RegionTrace holds one record per region when TraceRegions is set.
+	RegionTrace []RegionRecord
+}
+
+// RegionRecord is one region's timeline entry.
+type RegionRecord struct {
+	// EndCycle is the cycle at which the region's boundary resolved.
+	EndCycle uint64
+	// Cause is why the region ended.
+	Cause BoundaryCause
+	// Insts and Stores are the region's committed instruction counts.
+	Insts  int
+	Stores int
+	// StallCycles is how long the boundary waited for persistence.
+	StallCycles uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// AvgRegionLen returns the mean instructions per region (stores + others).
+func (s *Stats) AvgRegionLen() float64 { return s.RegionOther.Mean() + s.RegionStores.Mean() }
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	idx        int
+	completeAt uint64
+	op         isa.Op
+	pc         uint64
+
+	dst  isa.Reg
+	phys rename.PhysRef
+
+	addr     uint64
+	storeVal uint64
+	dataPhys rename.PhysRef // store data register (masked on commit)
+	srcPhys1 rename.PhysRef // for the mask-all-operands ablation
+	srcPhys2 rename.PhysRef
+
+	persistEnqueued bool
+	persistTok      int64
+
+	// regionStart marks the first instruction of a fixed-length compiler
+	// region (ReplayCache/Capri): it may not commit until the previous
+	// region's stores are durable.
+	regionStart bool
+}
+
+// Core is one simulated hardware thread.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	hier *cache.Hierarchy
+	redo *persist.RedoPath // non-nil for Capri
+	ren  *rename.Renamer
+
+	rob     []robEntry
+	robHead int
+	robLen  int
+
+	lqCount int
+	sqCount int
+	gatedSQ int // SQ entries held by gated stores (SBGate scheme)
+	// sqReleases holds drain-completion times of committed stores still
+	// occupying SQ entries; sqAckToks holds clwb-held entries released
+	// only at persist acknowledgment (ReplayCache).
+	sqReleases []uint64
+	sqAckToks  []int64
+
+	storesInROB int
+
+	next            int // next dynamic instruction to rename
+	frontStallUntil uint64
+
+	// Dynamic boundary state.
+	boundaryPending bool
+	boundaryCause   BoundaryCause
+	boundaryReadyAt uint64 // StoreGate bubble deadline
+	sinceBoundary   int    // renamed instructions since last fixed boundary
+
+	// Epoch snapshot for the relaxed barrier: the boundary waits only for
+	// persists enqueued up to the snapshot; stores committing during the
+	// wait open the next region (their CSQ entries and mask bits survive
+	// the boundary). Hardware realization: a second persist counter and a
+	// CSQ cut pointer.
+	epochArmed   bool
+	epochSnapSeq int64
+	epochCSQMark int
+	eagerFlushed bool   // one eager pre-boundary flush per region
+	epochArmedAt uint64 // cycle the pending boundary first waited
+
+	lastRegionStallCycle uint64 // dedupe stall accounting within a cycle
+
+	// Region commit-side accounting.
+	regionInsts  int
+	regionStores int
+
+	csq  []CSQEntry
+	lcpc uint64
+
+	committed int
+	front     *isa.GoldenResult // program-order functional oracle
+
+	st   Stats
+	done bool
+
+	rngState uint64 // deterministic branch-outcome hash state
+}
+
+// New builds a core over a program and a shared hierarchy. redo must be
+// non-nil iff the scheme uses the redo path.
+func New(cfg Config, prog *isa.Program, hier *cache.Hierarchy, redo *persist.RedoPath) (*Core, error) {
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Width <= 0 || cfg.ROBSize <= 0 {
+		return nil, fmt.Errorf("pipeline: width and ROB size must be positive")
+	}
+	if cfg.Scheme.UseRedoPath && redo == nil {
+		return nil, fmt.Errorf("pipeline: scheme %s requires a redo path", cfg.Scheme.Kind)
+	}
+	c := &Core{
+		cfg:      cfg,
+		prog:     prog,
+		hier:     hier,
+		redo:     redo,
+		ren:      rename.New(cfg.Rename),
+		rob:      make([]robEntry, cfg.ROBSize),
+		next:     cfg.StartAt,
+		rngState: uint64(cfg.CoreID)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+	}
+	c.committed = cfg.StartAt
+	c.front = isa.RunGolden(prog, cfg.StartAt)
+	if cfg.SampleFreeRegs {
+		c.st.FreeInt = stats.NewCDF()
+		c.st.FreeFP = stats.NewCDF()
+	}
+	return c, nil
+}
+
+// Done reports whether every instruction has committed.
+func (c *Core) Done() bool { return c.done }
+
+// Stats returns the core's measurements (valid any time; final when Done).
+func (c *Core) Stats() *Stats { return &c.st }
+
+// Renamer exposes the renaming engine (checkpointing, invariants).
+func (c *Core) Renamer() *rename.Renamer { return c.ren }
+
+// CSQ returns the live committed store queue.
+func (c *Core) CSQ() []CSQEntry { return c.csq }
+
+// LCPC returns the last committed program counter.
+func (c *Core) LCPC() uint64 { return c.lcpc }
+
+// Committed returns the count of committed instructions.
+func (c *Core) Committed() int { return c.committed }
+
+// Program returns the trace this core executes.
+func (c *Core) Program() *isa.Program { return c.prog }
+
+// PersistPending returns the outstanding asynchronous persist count.
+func (c *Core) PersistPending() int {
+	if !c.cfg.Scheme.AsyncPersist {
+		return 0
+	}
+	return c.hier.PersistPending(c.cfg.CoreID)
+}
+
+// Step advances the core one cycle. The caller ticks the hierarchy first.
+func (c *Core) Step(cycle uint64) {
+	if c.done {
+		return
+	}
+	c.releaseSQ(cycle)
+	c.commitStage(cycle)
+	c.renameStage(cycle)
+
+	c.st.Cycles = cycle + 1
+	c.st.ROBOccupancySum += uint64(c.robLen)
+	if c.cfg.SampleFreeRegs {
+		c.st.FreeInt.Add(c.ren.FreeCount(isa.ClassInt))
+		c.st.FreeFP.Add(c.ren.FreeCount(isa.ClassFP))
+	}
+	if c.committed >= c.prog.Len() && c.robLen == 0 {
+		c.done = true
+	}
+}
+
+// releaseSQ frees store-queue entries whose drain completed or whose clwb
+// persist acknowledged.
+func (c *Core) releaseSQ(cycle uint64) {
+	if len(c.sqReleases) > 0 {
+		kept := c.sqReleases[:0]
+		for _, t := range c.sqReleases {
+			if t <= cycle {
+				c.sqCount--
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		c.sqReleases = kept
+	}
+	if len(c.sqAckToks) > 0 {
+		kept := c.sqAckToks[:0]
+		for _, tok := range c.sqAckToks {
+			if c.hier.PersistAcked(c.cfg.CoreID, tok) {
+				c.sqCount--
+			} else {
+				kept = append(kept, tok)
+			}
+		}
+		c.sqAckToks = kept
+	}
+}
+
+// commitStage retires up to Width completed instructions in order.
+func (c *Core) commitStage(cycle uint64) {
+	for w := c.cfg.Width; w > 0 && c.robLen > 0; w-- {
+		e := &c.rob[c.robHead]
+		if e.completeAt > cycle {
+			return
+		}
+
+		// Fixed-region boundary: the first instruction of a new compiler
+		// region commits only after the previous region is durable.
+		if e.regionStart && !c.fixedBarrierDone(cycle) {
+			c.noteRegionStall(cycle)
+			return
+		}
+
+		// Synchronization primitives are region boundaries: they may not
+		// commit until the region's stores are durable (Section 6).
+		if c.cfg.Scheme.SyncIsBoundary && e.op.IsSyncPrimitive() && c.regionDirty() {
+			if !c.tryEndRegion(cycle, BoundarySync) {
+				c.noteRegionStall(cycle)
+				return
+			}
+		}
+
+		if e.op.IsStore() {
+			if !c.commitStore(e, cycle) {
+				return
+			}
+		}
+
+		if e.dst.Valid() {
+			c.ren.Commit(e.dst, e.phys)
+		}
+		c.lcpc = e.pc
+		c.committed++
+		c.st.Insts++
+		c.regionInsts++
+		if e.op.IsStore() {
+			c.regionStores++
+			c.st.Stores++
+		}
+		if e.op == isa.OpLoad {
+			c.lqCount--
+		}
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robLen--
+	}
+}
+
+// commitStore performs the store-specific commit work; false means the
+// commit stage must stall this cycle.
+func (c *Core) commitStore(e *robEntry, cycle uint64) bool {
+	sc := &c.cfg.Scheme
+
+	// A full CSQ is an implicit region boundary (Section 4.2).
+	if sc.CSQEntries > 0 && len(c.csq) >= sc.CSQEntries {
+		if !c.tryEndRegion(cycle, BoundaryCSQ) {
+			c.noteRegionStall(cycle)
+			return false
+		}
+	}
+
+	// Store-buffer gating (Section 6 alternative): the store neither
+	// merges into L1D nor writes back now — it sits in the gated SB (the
+	// value-bearing CSQ) until the region boundary flushes it. The SQ
+	// entry stays occupied the whole time: the pressure the paper warns
+	// about.
+	if sc.GateStoreBuffer {
+		c.csq = append(c.csq, CSQEntry{
+			Addr:         isa.WordAlign(e.addr),
+			Val:          e.storeVal,
+			Seq:          e.idx,
+			ValueBearing: true,
+		})
+		if len(c.csq) > c.st.CSQMaxDepth {
+			c.st.CSQMaxDepth = len(c.csq)
+		}
+		c.gatedSQ++
+		c.storesInROB--
+		return true
+	}
+
+	// The persist path must accept the store before it can retire.
+	if sc.AsyncPersist && !e.persistEnqueued {
+		tok, ok := c.hier.PersistStore(c.cfg.CoreID, e.addr, e.storeVal, cycle)
+		if !ok {
+			c.st.WBFullStalls++
+			return false
+		}
+		e.persistEnqueued = true
+		e.persistTok = tok
+		if sc.SyncStorePersist {
+			// No-async ablation: this store's writeback must not linger in
+			// the coalescing window — it is about to be waited on.
+			c.hier.FlushWB(c.cfg.CoreID, cycle)
+		}
+	}
+	if sc.SyncStorePersist && e.persistEnqueued &&
+		!c.hier.PersistAcked(c.cfg.CoreID, e.persistTok) {
+		// No-async ablation: wait for durability before retiring.
+		c.noteRegionStall(cycle)
+		return false
+	}
+	if sc.UseRedoPath {
+		if !c.redo.TryAccept(c.cfg.CoreID, e.addr, e.storeVal) {
+			c.st.RedoFullStalls++
+			return false
+		}
+	}
+
+	// Merge into L1D: functional value plus drain timing.
+	c.hier.StoreData(e.addr, e.storeVal)
+	drainDone := c.hier.Access(c.cfg.CoreID, e.addr, true, cycle)
+	if sc.ClwbPerStore {
+		// clwb occupies the SQ entry until the persist acknowledges.
+		c.sqAckToks = append(c.sqAckToks, e.persistTok)
+	} else {
+		c.sqReleases = append(c.sqReleases, drainDone)
+	}
+	c.storesInROB--
+
+	// Track the committed store for replay; pin its registers (PPA).
+	if sc.CSQEntries > 0 {
+		valueBearing := sc.ValueCSQ || e.op == isa.OpRMW
+		entry := CSQEntry{
+			Addr:         isa.WordAlign(e.addr),
+			Val:          e.storeVal,
+			Seq:          e.idx,
+			ValueBearing: valueBearing,
+		}
+		if !valueBearing {
+			entry.Phys = e.dataPhys
+			c.ren.MaskStoreReg(e.dataPhys)
+			if sc.MaskAllOperands {
+				c.ren.MaskStoreReg(e.srcPhys1)
+				c.ren.MaskStoreReg(e.srcPhys2)
+			}
+		}
+		c.csq = append(c.csq, entry)
+		if len(c.csq) > c.st.CSQMaxDepth {
+			c.st.CSQMaxDepth = len(c.csq)
+		}
+		// Eager pre-boundary flush (extension, off by default): once the
+		// CSQ is three-quarters full the region will end soon, so stop
+		// lazily coalescing and push the pending writebacks toward the WPQ
+		// now, overlapping their persistence with the region's remaining
+		// execution.
+		if sc.EagerFlush && sc.AsyncPersist && !c.eagerFlushed && len(c.csq) >= sc.CSQEntries*3/4 {
+			c.hier.FlushWB(c.cfg.CoreID, cycle)
+			c.eagerFlushed = true
+		}
+	}
+	return true
+}
+
+// regionDirty reports whether the current region has stores that are not
+// yet known durable (so a boundary would have to wait or clear state).
+func (c *Core) regionDirty() bool {
+	if len(c.csq) > 0 || c.regionStores > 0 {
+		return true
+	}
+	return c.PersistPending() > 0
+}
+
+// tryEndRegion attempts to close the current region: every persist
+// enqueued up to the boundary snapshot must be durable; then MaskReg's
+// deferred registers reclaim (except those pinned by stores that already
+// opened the next region) and the region's CSQ entries clear
+// (Section 4.2). Returns false if the boundary must keep waiting.
+func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
+	if !c.epochArmed {
+		c.epochArmed = true
+		c.epochArmedAt = cycle
+		c.epochCSQMark = len(c.csq)
+		if c.cfg.Scheme.GateStoreBuffer {
+			// The gated stores of the closing region merge into L1D and
+			// enter the persist path now, in one burst — the cost of
+			// gating: no background persistence overlapped the region.
+			for i := 0; i < c.epochCSQMark; i++ {
+				en := &c.csq[i]
+				c.hier.StoreData(en.Addr, en.Val)
+				drainDone := c.hier.Access(c.cfg.CoreID, en.Addr, true, cycle)
+				c.hier.PersistStore(c.cfg.CoreID, en.Addr, en.Val, cycle)
+				c.sqReleases = append(c.sqReleases, drainDone)
+				c.gatedSQ--
+			}
+		}
+		if c.cfg.Scheme.AsyncPersist {
+			c.epochSnapSeq = c.hier.CurrentPersistSeq(c.cfg.CoreID)
+			// The boundary needs the region durable as soon as possible:
+			// cancel the lazy-coalescing lag of pending writebacks.
+			c.hier.FlushWB(c.cfg.CoreID, cycle)
+		}
+	}
+	if c.cfg.Scheme.AsyncPersist && !c.hier.PersistedThrough(c.cfg.CoreID, c.epochSnapSeq) {
+		return false
+	}
+	// The full-drain ablation freezes the frontend while any boundary is
+	// armed (see renameStage) and, for rename-side boundaries, waits for
+	// the ROB to empty and every persist to complete. Commit-side
+	// boundaries (CSQ-full, sync) cannot drain below their own blocked
+	// instruction, so the frontend freeze is their whole strictness.
+	if c.cfg.Scheme.Barrier == persist.BarrierFullDrain && cause == BoundaryPRF {
+		if c.robLen > 0 {
+			return false
+		}
+		if c.cfg.Scheme.AsyncPersist && c.hier.PersistPending(c.cfg.CoreID) > 0 {
+			return false
+		}
+	}
+
+	// Stores that committed during the wait belong to the next region:
+	// keep their CSQ entries and mask bits.
+	survivors := c.csq[c.epochCSQMark:]
+	var keep []rename.PhysRef
+	for i := range survivors {
+		if survivors[i].Phys.Valid() {
+			keep = append(keep, survivors[i].Phys)
+		}
+	}
+	c.ren.ReclaimMaskedExcept(keep)
+	c.csq = append(c.csq[:0], survivors...)
+
+	c.st.Regions++
+	c.st.BoundaryCounts[cause]++
+	c.st.RegionOther.Add(int64(c.regionInsts - c.regionStores))
+	c.st.RegionStores.Add(int64(c.regionStores))
+	if c.cfg.TraceRegions {
+		c.st.RegionTrace = append(c.st.RegionTrace, RegionRecord{
+			EndCycle:    cycle,
+			Cause:       cause,
+			Insts:       c.regionInsts,
+			Stores:      c.regionStores,
+			StallCycles: cycle - c.epochArmedAt,
+		})
+	}
+	c.regionInsts = 0
+	c.regionStores = 0
+	c.epochArmed = false
+	c.eagerFlushed = false
+	return true
+}
+
+// fixedBarrierDone drives a commit-side fixed-region boundary: Capri waits
+// until the core's redo entries have drained through the shared persist
+// path to NVM, plus the path's acknowledgment round trip; ReplayCache
+// waits (sfence-like) for every prior clwb to reach the WPQ.
+func (c *Core) fixedBarrierDone(cycle uint64) bool {
+	sc := &c.cfg.Scheme
+	if sc.UseRedoPath {
+		if c.boundaryReadyAt == 0 {
+			c.boundaryReadyAt = cycle + uint64(sc.BoundaryBubble)
+		}
+		if cycle < c.boundaryReadyAt || c.redo.PendingOf(c.cfg.CoreID) > 0 {
+			return false
+		}
+		c.boundaryReadyAt = 0
+		c.endFixedRegion()
+		return true
+	}
+	return c.tryEndRegion(cycle, BoundaryFixed)
+}
+
+// noteRegionStall counts one region-end stall cycle, at most once per
+// cycle even when both commit and rename are blocked on the boundary.
+func (c *Core) noteRegionStall(cycle uint64) {
+	if c.lastRegionStallCycle != cycle+1 {
+		c.lastRegionStallCycle = cycle + 1
+		c.st.RegionEndStalls++
+	}
+}
+
+// renameStage renames up to Width instructions, handling region boundaries
+// and structural stalls.
+func (c *Core) renameStage(cycle uint64) {
+	if c.next >= c.prog.Len() {
+		return
+	}
+	if c.frontStallUntil > cycle {
+		c.st.FrontendStalls++
+		return
+	}
+	if c.boundaryPending && !c.resolveBoundary(cycle) {
+		c.noteRegionStall(cycle)
+		return
+	}
+	// A full-drain barrier freezes the frontend while any boundary is
+	// armed, so the backend can actually drain.
+	if c.cfg.Scheme.Barrier == persist.BarrierFullDrain && c.epochArmed {
+		c.noteRegionStall(cycle)
+		return
+	}
+
+	for w := c.cfg.Width; w > 0 && c.next < c.prog.Len(); {
+		in := &c.prog.Insts[c.next]
+
+		// Fixed-length compiler regions: tag the instruction that begins a
+		// new region; the barrier itself acts at commit.
+		regionStart := c.cfg.Scheme.FixedRegionLen > 0 &&
+			c.sinceBoundary >= c.cfg.Scheme.FixedRegionLen
+
+		if c.robLen >= len(c.rob) {
+			c.st.ROBFullStalls++
+			return
+		}
+		if in.Op == isa.OpLoad && c.lqCount >= c.cfg.LQSize {
+			c.st.LQFullStalls++
+			return
+		}
+		if in.Op.IsStore() && c.sqCount >= c.cfg.SQSize {
+			c.st.SQFullStalls++
+			// Under store-buffer gating, a store queue full of gated
+			// entries can only clear through a region boundary.
+			if c.cfg.Scheme.GateStoreBuffer && c.gatedSQ > 0 {
+				c.boundaryPending = true
+				c.boundaryCause = BoundaryCSQ
+				if !c.resolveBoundary(cycle) {
+					c.noteRegionStall(cycle)
+				}
+			}
+			return
+		}
+
+		// Source lookups must precede the destination rename (dst may
+		// equal a source).
+		src1 := c.ren.Lookup(in.Src1)
+		src2 := c.ren.Lookup(in.Src2)
+
+		var phys rename.PhysRef
+		if in.DefinesReg() {
+			p, ok := c.ren.TryRename(in.Dst)
+			if !ok {
+				if c.cfg.Scheme.DynamicRegions {
+					// PPA: the free list ran out — place a region boundary
+					// right before this instruction (Section 4.2).
+					c.boundaryPending = true
+					c.boundaryCause = BoundaryPRF
+					c.boundaryReadyAt = 0
+					if !c.resolveBoundary(cycle) {
+						c.noteRegionStall(cycle)
+						return
+					}
+					p, ok = c.ren.TryRename(in.Dst)
+				}
+				if !ok {
+					// Still out of registers: genuine structural stall
+					// (in-flight instructions hold the whole file).
+					c.st.RenameNoRegStalls++
+					return
+				}
+			}
+			phys = p
+		}
+
+		c.dispatch(in, phys, src1, src2, cycle, regionStart)
+		c.next++
+		if regionStart {
+			c.sinceBoundary = 0
+		}
+		c.sinceBoundary++
+		w--
+		if c.cfg.Scheme.ClwbPerStore && in.Op.IsStore() {
+			// The injected clwb consumes a pipeline slot too.
+			w--
+		}
+	}
+}
+
+// resolveBoundary drives a pending rename-side dynamic region boundary
+// (PPA's PRF-exhaustion trigger) to completion.
+func (c *Core) resolveBoundary(cycle uint64) bool {
+	if !c.tryEndRegion(cycle, c.boundaryCause) {
+		return false
+	}
+	c.boundaryPending = false
+	return true
+}
+
+// endFixedRegion records region statistics for schemes whose boundary does
+// not interact with MaskReg/CSQ (Capri).
+func (c *Core) endFixedRegion() {
+	c.st.Regions++
+	c.st.BoundaryCounts[BoundaryFixed]++
+	c.st.RegionOther.Add(int64(c.regionInsts - c.regionStores))
+	c.st.RegionStores.Add(int64(c.regionStores))
+	c.regionInsts = 0
+	c.regionStores = 0
+}
+
+// dispatch computes the instruction's functional result, schedules its
+// completion, and inserts it into the ROB.
+func (c *Core) dispatch(in *isa.Inst, phys rename.PhysRef, src1, src2 rename.PhysRef, cycle uint64, regionStart bool) {
+	ready := cycle + uint64(c.cfg.PipeDepth)
+	if r := c.ren.ReadyAt(src1); r > ready {
+		ready = r
+	}
+	if r := c.ren.ReadyAt(src2); r > ready {
+		ready = r
+	}
+
+	var complete uint64
+	switch {
+	case in.Op == isa.OpLoad || in.Op == isa.OpRMW:
+		complete = c.hier.Access(c.cfg.CoreID, in.Addr, false, ready)
+	case in.Op.IsStore():
+		complete = ready + 1
+	case in.Op == isa.OpSync || in.Op == isa.OpFence:
+		complete = ready + uint64(c.syncCost())
+		c.st.SyncStalls += uint64(c.syncCost())
+	case in.Op == isa.OpBranch:
+		// Branch conditions resolve at a fixed early point: conditions are
+		// overwhelmingly computed from short dependence chains, so coupling
+		// them to arbitrary producer latency (e.g. a pointer-chasing load)
+		// would grossly over-serialize the frontend.
+		complete = cycle + uint64(c.cfg.PipeDepth) + 2
+		if c.mispredicts(c.next) {
+			c.frontStallUntil = complete + uint64(c.cfg.MispredictPenalty)
+		}
+	default:
+		complete = ready + uint64(in.Op.ExecLatency())
+	}
+
+	// Advance the program-order functional oracle.
+	idx := c.next
+	var storeVal uint64
+	nStores := len(c.front.StoreLog)
+	isa.StepGolden(c.front, in, idx)
+	if in.Op.IsStore() && len(c.front.StoreLog) > nStores {
+		storeVal = c.front.StoreLog[len(c.front.StoreLog)-1].Val
+	}
+	if in.DefinesReg() {
+		c.ren.Write(phys, c.front.Regs.Read(in.Dst), complete)
+	}
+
+	e := robEntry{
+		idx:         idx,
+		completeAt:  complete,
+		op:          in.Op,
+		pc:          in.PC,
+		dst:         in.Dst,
+		phys:        phys,
+		addr:        in.Addr,
+		storeVal:    storeVal,
+		srcPhys1:    src1,
+		srcPhys2:    src2,
+		regionStart: regionStart,
+	}
+	if in.Op.IsStore() {
+		e.dataPhys = src1
+		c.sqCount++
+		c.storesInROB++
+	}
+	if in.Op == isa.OpLoad {
+		c.lqCount++
+	}
+	tail := (c.robHead + c.robLen) % len(c.rob)
+	c.rob[tail] = e
+	c.robLen++
+}
+
+// syncCost returns the serialization cost of one synchronization primitive.
+func (c *Core) syncCost() int {
+	threads := c.cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	return c.cfg.SyncBaseCost + int(c.cfg.SyncContention*float64(threads-1)*4)
+}
+
+// mispredicts deterministically decides whether the branch at dynamic index
+// i mispredicts, independent of scheme so all runs see identical frontends.
+func (c *Core) mispredicts(i int) bool {
+	x := uint64(i)*0x9E3779B97F4A7C15 ^ c.rngState
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return float64(x%10000) < c.cfg.MispredictRate*10000
+}
+
+// CheckStoreIntegrity verifies the paper's core invariant: every CSQ
+// entry's physical register still holds the stored value and is masked
+// (value-bearing entries carry their data directly and are exempt). It
+// returns the first violation found, or nil.
+func (c *Core) CheckStoreIntegrity() error {
+	for _, e := range c.csq {
+		if e.ValueBearing {
+			continue
+		}
+		if !e.Phys.Valid() {
+			return fmt.Errorf("csq entry seq %d has no physical register", e.Seq)
+		}
+		if got := c.ren.Read(e.Phys); got != e.Val {
+			return fmt.Errorf("store integrity violated: csq seq %d reg %v holds %#x want %#x",
+				e.Seq, e.Phys, got, e.Val)
+		}
+		if !c.ren.IsMasked(e.Phys) {
+			return fmt.Errorf("csq seq %d register %v is not masked", e.Seq, e.Phys)
+		}
+	}
+	return nil
+}
+
+// CheckStructural validates the core's structural bookkeeping: queue
+// occupancies within capacity, commit progress within the trace, and the
+// CSQ within its configured bound. Tests call it periodically to catch
+// counter drift.
+func (c *Core) CheckStructural() error {
+	if c.robLen < 0 || c.robLen > len(c.rob) {
+		return fmt.Errorf("pipeline: ROB occupancy %d of %d", c.robLen, len(c.rob))
+	}
+	if c.lqCount < 0 || c.lqCount > c.cfg.LQSize {
+		return fmt.Errorf("pipeline: LQ occupancy %d of %d", c.lqCount, c.cfg.LQSize)
+	}
+	if c.sqCount < 0 || c.sqCount > c.cfg.SQSize {
+		return fmt.Errorf("pipeline: SQ occupancy %d of %d", c.sqCount, c.cfg.SQSize)
+	}
+	if c.gatedSQ < 0 || c.gatedSQ > c.sqCount {
+		return fmt.Errorf("pipeline: gated SQ count %d of %d", c.gatedSQ, c.sqCount)
+	}
+	if c.storesInROB < 0 {
+		return fmt.Errorf("pipeline: negative stores-in-ROB %d", c.storesInROB)
+	}
+	if c.committed < c.cfg.StartAt || c.committed > c.prog.Len() {
+		return fmt.Errorf("pipeline: committed %d outside [%d,%d]", c.committed, c.cfg.StartAt, c.prog.Len())
+	}
+	if n := c.cfg.Scheme.CSQEntries; n > 0 && len(c.csq) > n {
+		return fmt.Errorf("pipeline: CSQ %d exceeds %d", len(c.csq), n)
+	}
+	if c.cfg.Scheme.AsyncPersist && c.hier.PersistPending(c.cfg.CoreID) < 0 {
+		return fmt.Errorf("pipeline: negative persist counter")
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+// Package stats provides the measurement plumbing shared by the simulator
+// and the experiment harness: counters, cycle-sampled CDFs, per-region
+// histograms, and geometric means for normalized slowdowns.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF accumulates integer samples and reports their empirical cumulative
+// distribution. It is used to reproduce Figure 5 (free physical registers
+// sampled every cycle at the rename stage).
+type CDF struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// NewCDF returns an empty CDF.
+func NewCDF() *CDF { return &CDF{counts: make(map[int]uint64)} }
+
+// Add records one sample.
+func (c *CDF) Add(v int) {
+	c.counts[v]++
+	c.total++
+}
+
+// AddN records n identical samples (cheap per-cycle sampling when the value
+// did not change).
+func (c *CDF) AddN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	c.counts[v] += n
+	c.total += n
+}
+
+// Total returns the number of samples.
+func (c *CDF) Total() uint64 { return c.total }
+
+// At returns P(sample <= v).
+func (c *CDF) At(v int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var cum uint64
+	for s, n := range c.counts {
+		if s <= v {
+			cum += n
+		}
+	}
+	return float64(cum) / float64(c.total)
+}
+
+// Quantile returns the smallest sample value v such that P(sample <= v) >= q.
+func (c *CDF) Quantile(q float64) int {
+	if c.total == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := q * float64(c.total)
+	var cum uint64
+	for _, k := range keys {
+		cum += c.counts[k]
+		if float64(cum) >= target {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, n := range c.counts {
+		sum += float64(v) * float64(n)
+	}
+	return sum / float64(c.total)
+}
+
+// Points returns the CDF as sorted (value, cumulative probability) pairs,
+// suitable for plotting.
+func (c *CDF) Points() []CDFPoint {
+	keys := make([]int, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]CDFPoint, 0, len(keys))
+	var cum uint64
+	for _, k := range keys {
+		cum += c.counts[k]
+		out = append(out, CDFPoint{Value: k, P: float64(cum) / float64(c.total)})
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value int
+	P     float64
+}
+
+// Histogram tracks a distribution of int64 observations with mean/max.
+type Histogram struct {
+	n    uint64
+	sum  float64
+	max  int64
+	min  int64
+	init bool
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int64) {
+	if !h.init {
+		h.min, h.max, h.init = v, v, true
+	} else {
+		if v > h.max {
+			h.max = v
+		}
+		if v < h.min {
+			h.min = v
+		}
+	}
+	h.n++
+	h.sum += float64(v)
+}
+
+// N returns the observation count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Max returns the maximum observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if !h.init {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the minimum observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if !h.init {
+		return 0
+	}
+	return h.min
+}
+
+// GeoMean returns the geometric mean of xs; it returns 0 for empty input and
+// ignores non-positive entries (which would otherwise poison the product).
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Ratio safely divides a by b, returning 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Pct formats a fraction as a percentage string with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

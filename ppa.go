@@ -1,0 +1,335 @@
+// Package ppa is the public API of the Persistent Processor Architecture
+// reproduction: a cycle-level multi-core simulator with PPA's
+// store-integrity hardware (MaskReg, CSQ, LCPC, dynamic region formation,
+// asynchronous store persistence, JIT checkpointing and recovery), the
+// paper's comparison schemes (memory-mode baseline, ReplayCache, Capri,
+// ideal PSP/eADR, DRAM-only), the 41-application workload suite, and the
+// experiment harness that regenerates every table and figure of the
+// MICRO '23 evaluation.
+//
+// Quick start:
+//
+//	res, err := ppa.Run(ppa.RunConfig{App: "mcf", Scheme: ppa.SchemePPA})
+//	fmt.Println(res.Cycles, res.IPC())
+//
+// Crash consistency:
+//
+//	out, err := ppa.RunWithFailure(ppa.RunConfig{App: "mcf", Scheme: ppa.SchemePPA}, 50_000)
+//	// out.Consistent reports whether recovered NVM matches the committed prefix.
+package ppa
+
+import (
+	"fmt"
+
+	"ppa/internal/cache"
+	"ppa/internal/checkpoint"
+	"ppa/internal/multicore"
+	"ppa/internal/nvm"
+	"ppa/internal/persist"
+	"ppa/internal/pipeline"
+	"ppa/internal/recovery"
+	"ppa/internal/workload"
+)
+
+// Scheme names a persistence scheme.
+type Scheme string
+
+// The available schemes.
+const (
+	SchemeBaseline    Scheme = "baseline"
+	SchemePPA         Scheme = "ppa"
+	SchemeReplayCache Scheme = "replaycache"
+	SchemeCapri       Scheme = "capri"
+	SchemeEADR        Scheme = "eadr"
+	SchemeDRAMOnly    Scheme = "dram-only"
+	// SchemeSBGate is the Section 6 store-buffer-gating alternative PPA
+	// rejects; included to quantify that design discussion.
+	SchemeSBGate Scheme = "sb-gate"
+)
+
+// Schemes lists every scheme name.
+func Schemes() []Scheme {
+	return []Scheme{SchemeBaseline, SchemePPA, SchemeReplayCache, SchemeCapri,
+		SchemeEADR, SchemeDRAMOnly, SchemeSBGate}
+}
+
+// SchemeConfig resolves a scheme name to its full configuration.
+func SchemeConfig(s Scheme) (persist.Config, error) {
+	switch s {
+	case SchemeBaseline:
+		return persist.BaselineDefault(), nil
+	case SchemePPA:
+		return persist.PPADefault(), nil
+	case SchemeReplayCache:
+		return persist.ReplayCacheDefault(), nil
+	case SchemeCapri:
+		return persist.CapriDefault(), nil
+	case SchemeEADR:
+		return persist.EADRDefault(), nil
+	case SchemeDRAMOnly:
+		return persist.DRAMOnlyDefault(), nil
+	case SchemeSBGate:
+		return persist.SBGateDefault(), nil
+	default:
+		return persist.Config{}, fmt.Errorf("ppa: unknown scheme %q", s)
+	}
+}
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	// App is a workload name from Apps(); Profile overrides it if set.
+	App string
+	// Profile directly supplies a workload profile (optional).
+	Profile *workload.Profile
+	// Scheme selects the persistence scheme (default SchemePPA).
+	Scheme Scheme
+	// SchemeOverride, when non-nil, bypasses Scheme resolution entirely
+	// (for ablations).
+	SchemeOverride *persist.Config
+	// InstsPerThread is the dynamic instruction count per hardware thread
+	// (default 60000).
+	InstsPerThread int
+	// Customize, when non-nil, edits the assembled machine configuration
+	// (PRF size, CSQ depth, NVM bandwidth, cache organization, ...).
+	Customize func(*multicore.Config)
+	// SampleFreeRegs enables per-cycle free-register CDFs (Figure 5).
+	SampleFreeRegs bool
+}
+
+// DefaultInsts is the default per-thread dynamic instruction count.
+const DefaultInsts = 60_000
+
+func (rc RunConfig) resolve() (workload.Profile, persist.Config, int, error) {
+	var prof workload.Profile
+	if rc.Profile != nil {
+		prof = *rc.Profile
+	} else {
+		name := rc.App
+		if name == "" {
+			return prof, persist.Config{}, 0, fmt.Errorf("ppa: RunConfig needs App or Profile")
+		}
+		p, err := workload.ByName(name)
+		if err != nil {
+			return prof, persist.Config{}, 0, err
+		}
+		prof = p
+	}
+	var sch persist.Config
+	if rc.SchemeOverride != nil {
+		sch = *rc.SchemeOverride
+	} else {
+		s := rc.Scheme
+		if s == "" {
+			s = SchemePPA
+		}
+		cfg, err := SchemeConfig(s)
+		if err != nil {
+			return prof, persist.Config{}, 0, err
+		}
+		sch = cfg
+	}
+	insts := rc.InstsPerThread
+	if insts <= 0 {
+		insts = DefaultInsts
+	}
+	return prof, sch, insts, nil
+}
+
+// Result is the outcome of a completed run.
+type Result = multicore.Result
+
+// Apps returns the 41 application names in suite order.
+func Apps() []string {
+	ps := workload.Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// defaultMachine assembles the Table 2 machine configuration.
+func defaultMachine(n int, sch persist.Config) multicore.Config {
+	return multicore.DefaultConfig(n, sch)
+}
+
+// NewSystem assembles (but does not run) the simulated machine for a
+// configuration, for callers that need fine-grained control (crash
+// injection, stepping, invariant checks).
+func NewSystem(rc RunConfig) (*multicore.System, error) {
+	prof, sch, insts, err := rc.resolve()
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.New(prof, insts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := multicore.DefaultConfig(len(w.Threads), sch)
+	cfg.Pipeline.SampleFreeRegs = rc.SampleFreeRegs
+	if rc.Customize != nil {
+		rc.Customize(&cfg)
+	}
+	return multicore.NewSystem(cfg, w)
+}
+
+// Run executes one simulation to completion.
+func Run(rc RunConfig) (*Result, error) {
+	_, _, insts, err := rc.resolve()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(rc)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(uint64(insts)*4000 + 1_000_000); err != nil {
+		return nil, err
+	}
+	return sys.Collect(), nil
+}
+
+// FailureOutcome reports a crash-and-recover experiment.
+type FailureOutcome struct {
+	// FailCycle is the cycle at which power was cut.
+	FailCycle uint64
+	// CompletedBeforeFailure is true when the workload finished before the
+	// scheduled failure (no crash occurred).
+	CompletedBeforeFailure bool
+	// PerCore holds each core's recovery outcome.
+	PerCore []*recovery.Outcome
+	// Consistent reports whether, after recovery, NVM held the committed
+	// prefix of every thread (the crash-consistency contract).
+	Consistent bool
+	// ArchConsistent reports whether the recovered committed register
+	// state (CRT + checkpointed physical registers) matched the golden
+	// in-order state for every core. Only meaningful for schemes that
+	// checkpoint the CRT (PPA); true otherwise.
+	ArchConsistent bool
+	// Inconsistencies counts committed-prefix words whose NVM value was
+	// wrong after recovery (0 when Consistent).
+	Inconsistencies int
+	// CheckpointBytes is the total encoded checkpoint size across cores.
+	CheckpointBytes int
+	// FlushedBytes is how much dirty data a flush-on-failure scheme (eADR)
+	// had to push on residual energy — the quantity whose energy cost
+	// Table 5 contrasts with PPA's checkpoint.
+	FlushedBytes int
+	// ResumedResult is the result of resuming every core after recovery
+	// and running to completion (nil if the run completed pre-failure).
+	ResumedResult *Result
+}
+
+// RunWithFailure runs a simulation, cuts power at failCycle, JIT-checkpoints
+// (for schemes that support it), recovers, verifies crash consistency, and
+// resumes the interrupted programs to completion.
+func RunWithFailure(rc RunConfig, failCycle uint64) (*FailureOutcome, error) {
+	prof, sch, insts, err := rc.resolve()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(rc)
+	if err != nil {
+		return nil, err
+	}
+	out := &FailureOutcome{FailCycle: failCycle}
+	if sys.RunUntil(failCycle) {
+		out.CompletedBeforeFailure = true
+		out.Consistent = true
+		return out, nil
+	}
+
+	// Power failure: checkpoint and lose all volatile state.
+	images := sys.Crash()
+	out.FlushedBytes = sys.LastCrashFlushBytes()
+	dev := sys.Device()
+	for _, im := range images {
+		out.CheckpointBytes += len(im.Encode())
+	}
+
+	// Recovery: replay each core's CSQ, then verify the contract.
+	committed := make([]int, len(images))
+	for i, im := range images {
+		prog := sys.Cores()[i].Program()
+		o, rerr := recovery.Recover(dev, im, prog)
+		if rerr != nil {
+			return nil, rerr
+		}
+		out.PerCore = append(out.PerCore, o)
+		committed[i] = im.Committed
+	}
+	out.Consistent = true
+	out.ArchConsistent = true
+	for i := range images {
+		prog := sys.Cores()[i].Program()
+		if n := recovery.CountInconsistencies(dev, prog, committed[i]); n > 0 {
+			out.Consistent = false
+			out.Inconsistencies += n
+		}
+	}
+
+	// For schemes that checkpoint the CRT (PPA), the recovered committed
+	// register state must equal the golden in-order state too.
+	if sch.Kind == persist.PPA && !sch.ValueCSQ {
+		mc := multicore.DefaultConfig(len(images), sch)
+		if rc.Customize != nil {
+			rc.Customize(&mc)
+		}
+		for i, im := range images {
+			ren, rerr := recovery.RestoreRenamer(mc.Pipeline.Rename, im)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if verr := recovery.VerifyArchState(ren, sys.Cores()[i].Program(), committed[i]); verr != nil {
+				out.ArchConsistent = false
+			}
+		}
+	}
+
+	// Resume each interrupted program right after its LCPC and run to
+	// completion on a fresh machine state (the caches are cold, as after a
+	// real outage).
+	resumed, err := resumeAfterFailure(prof, sch, insts, sys, committed)
+	if err != nil {
+		return nil, err
+	}
+	out.ResumedResult = resumed
+	return out, nil
+}
+
+// resumeAfterFailure rebuilds the machine around the surviving NVM device
+// and continues every thread from its committed prefix.
+func resumeAfterFailure(prof workload.Profile, sch persist.Config, insts int,
+	crashed *multicore.System, committed []int) (*Result, error) {
+	w, err := workload.New(prof, insts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := multicore.DefaultConfig(len(w.Threads), sch)
+	sys, err := multicore.NewSystemResumed(cfg, w, crashed.Device(), committed)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(uint64(insts)*4000 + 1_000_000); err != nil {
+		return nil, err
+	}
+	return sys.Collect(), nil
+}
+
+// CheckpointImage captures a live core's JIT-checkpoint image (exposed for
+// examples and tests).
+func CheckpointImage(core *pipeline.Core) *checkpoint.Image { return checkpoint.Capture(core) }
+
+// Expose commonly needed internal types through the public surface.
+type (
+	// MachineConfig is the full machine configuration (for Customize).
+	MachineConfig = multicore.Config
+	// HierarchyParams configures the cache hierarchy.
+	HierarchyParams = cache.Params
+	// NVMConfig configures the NVM device.
+	NVMConfig = nvm.Config
+	// WorkloadProfile describes a synthetic application.
+	WorkloadProfile = workload.Profile
+	// PersistConfig is a fully resolved persistence scheme.
+	PersistConfig = persist.Config
+)

@@ -1,0 +1,76 @@
+package ppa
+
+import "fmt"
+
+// VerifyReport summarizes a crash-consistency verification campaign: the
+// workload was crashed at many points, recovered each time, and checked
+// against the golden committed prefix.
+type VerifyReport struct {
+	App        string
+	Scheme     Scheme
+	Trials     int
+	Completed  int // failures scheduled after the run already finished
+	Consistent int
+	Failed     []uint64 // failure cycles whose recovery was inconsistent
+}
+
+// OK reports whether every recovery verified.
+func (r *VerifyReport) OK() bool { return len(r.Failed) == 0 }
+
+func (r *VerifyReport) String() string {
+	status := "OK"
+	if !r.OK() {
+		status = fmt.Sprintf("FAILED at cycles %v", r.Failed)
+	}
+	return fmt.Sprintf("%s/%s: %d trials (%d post-completion), %d consistent — %s",
+		r.App, r.Scheme, r.Trials, r.Completed, r.Consistent, status)
+}
+
+// VerifyApp runs a crash-consistency campaign: n failures at seeded-random
+// cycles within the run. Every interrupted trial must recover to the
+// committed prefix. Schemes without crash consistency (the baseline) will
+// report failures — that is the point of running them.
+func VerifyApp(app string, scheme Scheme, insts, n int, seed int64) (*VerifyReport, error) {
+	if insts <= 0 {
+		insts = 20_000
+	}
+	if n <= 0 {
+		n = 8
+	}
+	// Bound the failure window by a representative run length.
+	probe, err := Run(RunConfig{App: app, Scheme: scheme, InstsPerThread: insts})
+	if err != nil {
+		return nil, err
+	}
+	maxCycle := probe.Cycles
+	if maxCycle < 1000 {
+		maxCycle = 1000
+	}
+
+	sched := FailRandomly(seed, n, maxCycle/50, maxCycle)
+	report := &VerifyReport{App: app, Scheme: scheme}
+	var after uint64
+	for {
+		cycle, ok := sched.Next(after)
+		if !ok {
+			break
+		}
+		after = cycle
+		report.Trials++
+		out, err := RunWithFailure(RunConfig{App: app, Scheme: scheme, InstsPerThread: insts}, cycle)
+		if err != nil {
+			return nil, fmt.Errorf("verify %s@%d: %w", app, cycle, err)
+		}
+		if out.CompletedBeforeFailure {
+			report.Completed++
+			report.Consistent++
+			continue
+		}
+		if out.Consistent {
+			report.Consistent++
+		} else {
+			report.Failed = append(report.Failed, cycle)
+		}
+	}
+	return report, nil
+}
