@@ -21,6 +21,7 @@ import (
 	"text/tabwriter"
 
 	"ppa"
+	"ppa/internal/obs"
 )
 
 var (
@@ -36,7 +37,18 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the ablation studies")
 	writeamp := flag.Bool("writeamp", false, "run the NVM write-amplification comparison")
 	all := flag.Bool("all", false, "regenerate everything")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every simulated run (open in chrome://tracing or Perfetto)")
+	metricsPath := flag.String("metrics", "", "write the aggregated metrics registry as JSON Lines")
 	flag.Parse()
+
+	// The figure/table harness assembles machines internally, so tracing
+	// hooks in via the package-level default hub. Every run of the
+	// invocation shares it: counters accumulate, trace cycles restart per
+	// run.
+	if *tracePath != "" || *metricsPath != "" {
+		ppa.DefaultObs = obs.NewHub(0)
+		defer exportObs(*tracePath, *metricsPath)
+	}
 
 	switch {
 	case *all:
@@ -59,6 +71,41 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// exportObs writes the default hub's trace and metrics files (skipped on
+// log.Fatal paths, which bypass deferred calls).
+func exportObs(tracePath, metricsPath string) {
+	hub := ppa.DefaultObs
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, hub.Tracer().Events()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if d := hub.Tracer().Dropped(); d > 0 {
+			log.Printf("trace ring overflowed: oldest %d of %d events dropped", d, hub.Tracer().Total())
+		}
+		fmt.Printf("wrote %s\n", tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hub.Registry().WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", metricsPath)
 	}
 }
 

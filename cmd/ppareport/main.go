@@ -4,6 +4,12 @@
 // each labelled with the paper's published value for side-by-side reading.
 //
 //	ppareport -insts 60000 > report.md
+//
+// With -trace it instead analyzes a Chrome trace_event file produced by
+// ppasim/ppabench and prints the per-region stall breakdown:
+//
+//	ppasim -app mcf -scheme ppa -trace out.json
+//	ppareport -trace out.json
 package main
 
 import (
@@ -15,12 +21,22 @@ import (
 	"ppa"
 )
 
-var insts = flag.Int("insts", 30_000, "dynamic instructions per thread")
+var (
+	insts     = flag.Int("insts", 30_000, "dynamic instructions per thread")
+	tracePath = flag.String("trace", "", "analyze a Chrome trace_event file (from ppasim/ppabench -trace) instead of running the evaluation")
+)
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ppareport: ")
 	flag.Parse()
+
+	if *tracePath != "" {
+		if err := reportTrace(os.Stdout, *tracePath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	fmt.Printf("# PPA reproduction report\n\n")
 	fmt.Printf("Machine: Table 2 defaults. %d instructions per thread.\n\n", *insts)

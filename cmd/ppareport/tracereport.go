@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"ppa/internal/obs"
+	"ppa/internal/pipeline"
+)
+
+// causeKey groups region events per core and boundary cause.
+type causeKey struct {
+	core  int
+	cause int64
+}
+
+type causeAgg struct {
+	regions int
+	insts   int64
+	stores  int64
+	stall   uint64
+	cycles  uint64 // region durations
+}
+
+// reportTrace reads a Chrome trace_event file and prints the per-region
+// stall breakdown: for every (core, boundary cause), how many regions
+// formed, their mean size, and how much of the run their barriers stalled —
+// the trace-level view of the paper's Figures 11-13.
+func reportTrace(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		return err
+	}
+
+	aggs := map[causeKey]*causeAgg{}
+	var drains, drainedStores, wpqRejects, barriers int
+	var barrierCycles uint64
+	var lastCycle uint64
+	for _, ev := range events {
+		if end := ev.Cycle + ev.Dur; end > lastCycle {
+			lastCycle = end
+		}
+		switch ev.Name {
+		case "region":
+			k := causeKey{core: ev.Core}
+			a := causeAgg{regions: 1, cycles: ev.Dur}
+			for _, arg := range ev.Args {
+				switch arg.Key {
+				case "cause":
+					k.cause = arg.Val
+				case "insts":
+					a.insts = arg.Val
+				case "stores":
+					a.stores = arg.Val
+				case "stall":
+					a.stall = uint64(arg.Val)
+				}
+			}
+			if agg, ok := aggs[k]; ok {
+				agg.regions++
+				agg.insts += a.insts
+				agg.stores += a.stores
+				agg.stall += a.stall
+				agg.cycles += a.cycles
+			} else {
+				aggs[k] = &a
+			}
+		case "region-barrier":
+			barriers++
+			barrierCycles += ev.Dur
+		case "persist-drain":
+			drains++
+			for _, arg := range ev.Args {
+				if arg.Key == "stores" {
+					drainedStores += int(arg.Val)
+				}
+			}
+		case "wpq-reject":
+			wpqRejects++
+		}
+	}
+
+	fmt.Fprintf(w, "# Trace report: %s\n\n", path)
+	fmt.Fprintf(w, "%d events, last cycle %d\n\n", len(events), lastCycle)
+
+	if len(aggs) == 0 {
+		fmt.Fprintln(w, "No region events in trace (was the run traced with a region-forming scheme?).")
+	} else {
+		fmt.Fprintln(w, "## Per-region stall breakdown")
+		fmt.Fprintln(w)
+		keys := make([]causeKey, 0, len(aggs))
+		for k := range aggs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].core != keys[j].core {
+				return keys[i].core < keys[j].core
+			}
+			return keys[i].cause < keys[j].cause
+		})
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "core\tcause\tregions\tavg-insts\tavg-stores\tavg-len\ttotal-stall\tavg-stall")
+		for _, k := range keys {
+			a := aggs[k]
+			n := float64(a.regions)
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%.1f\t%.1f\t%.0f\t%d\t%.1f\n",
+				k.core, pipeline.BoundaryCause(k.cause), a.regions,
+				float64(a.insts)/n, float64(a.stores)/n, float64(a.cycles)/n,
+				a.stall, float64(a.stall)/n)
+		}
+		tw.Flush()
+	}
+
+	fmt.Fprintf(w, "\n## Persist path\n\n")
+	fmt.Fprintf(w, "barrier waits: %d (%d cycles total)\n", barriers, barrierCycles)
+	fmt.Fprintf(w, "write-buffer drains to WPQ: %d lines carrying %d stores\n", drains, drainedStores)
+	fmt.Fprintf(w, "WPQ-full rejections: %d\n", wpqRejects)
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 
 	"ppa"
 	"ppa/internal/multicore"
+	"ppa/internal/obs"
 	"ppa/internal/persist"
 	"ppa/internal/workload"
 )
@@ -51,6 +52,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print stall breakdown and memory counters")
 	configPath := flag.String("config", "", "JSON machine-config override file (see ppa.DefaultMachineConfigJSON)")
 	dumpConfig := flag.Bool("dump-config", false, "print the default machine config as JSON and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot as JSON Lines")
 	flag.Parse()
 
 	if *dumpConfig {
@@ -90,12 +93,33 @@ func main() {
 		schemes = append(schemes, s)
 	}
 
+	// One hub for the whole invocation: events from sequential runs share
+	// the trace (per-run cycle clocks restart at 0), counters accumulate.
+	// Output files are created up front so a bad path fails before the
+	// simulation, not after.
+	var hub *obs.Hub
+	var traceFile, metricsFile *os.File
+	if *tracePath != "" || *metricsPath != "" {
+		hub = obs.NewHub(0)
+		var err error
+		if *tracePath != "" {
+			if traceFile, err = os.Create(*tracePath); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *metricsPath != "" {
+			if metricsFile, err = os.Create(*metricsPath); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\tscheme\tcycles\tIPC\tregions\tavg-len\tavg-stores\tregion-stall%\tslowdown")
 	var baseCycles map[string]uint64 = map[string]uint64{}
 	for _, p := range profiles {
 		for _, s := range schemes {
-			res, err := runOne(p, s, *insts, customize)
+			res, err := runOne(p, s, *insts, customize, hub)
 			if err != nil {
 				log.Fatalf("%s/%s: %v", p.Name, s.Kind, err)
 			}
@@ -115,15 +139,47 @@ func main() {
 		}
 	}
 	tw.Flush()
+
+	if traceFile != nil {
+		if err := writeTrace(traceFile, hub); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if metricsFile != nil {
+		if err := writeMetrics(metricsFile, hub); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeTrace exports the hub's ring buffer as a Chrome trace_event file.
+func writeTrace(f *os.File, hub *obs.Hub) error {
+	tr := hub.Tracer()
+	if err := obs.WriteChromeTrace(f, tr.Events()); err != nil {
+		return err
+	}
+	if d := tr.Dropped(); d > 0 {
+		log.Printf("trace ring overflowed: oldest %d of %d events dropped", d, tr.Total())
+	}
+	return f.Close()
+}
+
+// writeMetrics exports the metrics registry snapshot as JSON Lines.
+func writeMetrics(f *os.File, hub *obs.Hub) error {
+	if err := hub.Registry().WriteJSONL(f); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // runOne builds and runs one simulation with the optional config override.
-func runOne(p workload.Profile, s persist.Config, insts int, customize func(*multicore.Config)) (*multicore.Result, error) {
+func runOne(p workload.Profile, s persist.Config, insts int, customize func(*multicore.Config), hub *obs.Hub) (*multicore.Result, error) {
 	w, err := workload.New(p, insts)
 	if err != nil {
 		return nil, err
 	}
 	cfg := multicore.DefaultConfig(len(w.Threads), s)
+	cfg.Obs = hub
 	if customize != nil {
 		customize(&cfg)
 	}

@@ -81,6 +81,10 @@ func runOne(j runJob) (*multicore.Result, error) {
 	}
 	cfg := multicore.DefaultConfig(len(w.Threads), j.scheme)
 	cfg.Pipeline.SampleFreeRegs = j.sample
+	// The figure/table harness is the path ppabench traces: like NewSystem,
+	// attach the package default hub. Jobs run in parallel, so the hub sees
+	// concurrent emitters (the obs layer is race-tested for exactly this).
+	cfg.Obs = DefaultObs
 	if j.customize != nil {
 		j.customize(&cfg)
 	}

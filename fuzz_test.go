@@ -1,9 +1,18 @@
 package ppa
 
 import (
+	"bytes"
 	"math/rand"
+	"os"
+	"reflect"
 	"testing"
 	"testing/quick"
+
+	"ppa/internal/checkpoint"
+	"ppa/internal/isa"
+	"ppa/internal/obs"
+	"ppa/internal/pipeline"
+	"ppa/internal/rename"
 )
 
 // randomProfile draws a random valid workload profile — the fuzz surface
@@ -99,4 +108,76 @@ func TestFuzzCrashConsistency(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzCheckpointDecode: checkpoint.Decode must never panic or allocate
+// unboundedly on attacker-controlled bytes, and any blob it accepts must
+// survive an Encode/Decode round trip unchanged (the controller re-streams
+// images it reads back).
+func FuzzCheckpointDecode(f *testing.F) {
+	seed := &checkpoint.Image{
+		CoreID:    1,
+		LCPC:      0x4020,
+		Committed: 37,
+		CSQ: []pipeline.CSQEntry{
+			{Phys: rename.PhysRef{Class: isa.ClassInt, Idx: 12}, Addr: 0x1000, Seq: 3},
+			{Addr: 0x2008, Val: 99, Seq: 4, ValueBearing: true},
+		},
+		CRT: []rename.TableSnapshot{
+			{Class: isa.ClassInt, CRT: []uint16{1, 2, 3}},
+			{Class: isa.ClassFP, CRT: []uint16{7}},
+		},
+		MaskInt: []bool{true, false, true, true, false, false, true, false, true},
+		MaskFP:  []bool{false, true},
+		Regs: []checkpoint.RegValue{
+			{Phys: rename.PhysRef{Class: isa.ClassInt, Idx: 12}, Val: 0xdead},
+		},
+	}
+	f.Add(seed.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x41, 0x50, 0x50}) // magic, nothing else
+	f.Fuzz(func(t *testing.T, b []byte) {
+		im, err := checkpoint.Decode(b)
+		if err != nil {
+			return
+		}
+		again, err := checkpoint.Decode(im.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted image failed: %v", err)
+		}
+		if !reflect.DeepEqual(im, again) {
+			t.Fatalf("round trip drifted:\nfirst  %+v\nsecond %+v", im, again)
+		}
+	})
+}
+
+// FuzzChromeTraceRead: obs.ReadChromeTrace must never panic on arbitrary
+// bytes, and anything it parses must re-serialize into a trace the reader
+// accepts again with the same event count.
+func FuzzChromeTraceRead(f *testing.F) {
+	f.Add([]byte(`{"displayTimeUnit":"ns","traceEvents":[` +
+		`{"name":"region","cat":"region","ph":"X","ts":0,"dur":9,"pid":0,"tid":0,"args":{"cause":1}},` +
+		`{"name":"persist-drain","cat":"persist","ph":"i","ts":4,"pid":0,"tid":1,"s":"t"}]}`))
+	f.Add([]byte(`[{"name":"x","ph":"C","ts":1,"tid":-1,"args":{"depth":2}}]`))
+	f.Add([]byte(`not json`))
+	if golden, err := os.ReadFile("internal/obs/testdata/golden_trace.json"); err == nil {
+		f.Add(golden)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		events, err := obs.ReadChromeTrace(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, events); err != nil {
+			t.Fatalf("re-serialize of parsed trace failed: %v", err)
+		}
+		again, err := obs.ReadChromeTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("re-read lost events: %d, want %d", len(again), len(events))
+		}
+	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"ppa/internal/isa"
 	"ppa/internal/nvm"
+	"ppa/internal/obs"
 )
 
 // Mode selects the memory organization below the SRAM caches.
@@ -239,6 +240,11 @@ type Hierarchy struct {
 	NVMWritebacks  uint64
 	DRAMWritebacks uint64
 	Invalidations  uint64
+
+	// Observability (all nil-safe when disabled).
+	tr           *obs.Tracer
+	ackedStores  *obs.Counter
+	drainedLines *obs.Counter
 }
 
 // New builds the hierarchy over the given NVM device. warmResident and
@@ -279,6 +285,23 @@ func New(p Params, dev *nvm.Device, warmResident, l2Resident func(uint64) bool) 
 
 // Params returns the hierarchy configuration.
 func (h *Hierarchy) Params() Params { return h.p }
+
+// SetObs attaches the observability hub: write-buffer drains become trace
+// events and the persist-ack counters register as metrics. A nil hub (or
+// never calling SetObs) leaves instrumentation disabled.
+func (h *Hierarchy) SetObs(hub *obs.Hub) {
+	h.tr = hub.Tracer()
+	reg := hub.Registry()
+	h.ackedStores = reg.Counter("persist.acked-stores")
+	h.drainedLines = reg.Counter("persist.drained-lines")
+	reg.BindGaugeFunc("persist.wb-pending", func() float64 {
+		n := 0
+		for _, wb := range h.wbs {
+			n += wb.pending
+		}
+		return float64(n)
+	})
+}
 
 // Device returns the underlying NVM device.
 func (h *Hierarchy) Device() *nvm.Device { return h.dev }
@@ -575,6 +598,16 @@ func (h *Hierarchy) PersistStore(core int, addr, val uint64, cycle uint64) (toke
 func (h *Hierarchy) FlushWB(core int, cycle uint64) {
 	lag := uint64(h.p.PersistLag)
 	wb := h.wbs[core]
+	if h.tr != nil && len(wb.entries) > 0 {
+		h.tr.Emit(obs.Event{
+			Cycle: cycle,
+			Type:  obs.EvInstant,
+			Core:  core,
+			Name:  "wb-flush",
+			Cat:   "persist",
+			Args:  [obs.MaxEventArgs]obs.Arg{{Key: "entries", Val: int64(len(wb.entries))}},
+		})
+	}
 	for i := range wb.entries {
 		e := &wb.entries[i]
 		if e.ready <= cycle {
@@ -641,7 +674,8 @@ func (h *Hierarchy) Tick(cycle uint64) {
 	maxAccepts := h.dev.Config().Channels
 	accepted := 0
 	for i := 0; i < n && accepted < maxAccepts; i++ {
-		wb := h.wbs[(h.wbNext+i)%n]
+		core := (h.wbNext + i) % n
+		wb := h.wbs[core]
 		if len(wb.entries) == 0 {
 			continue
 		}
@@ -651,6 +685,21 @@ func (h *Hierarchy) Tick(cycle uint64) {
 		}
 		if h.dev.TryAccept(e.line, e.words) {
 			wb.pending -= e.stores
+			h.drainedLines.Inc()
+			h.ackedStores.Add(uint64(e.stores))
+			if h.tr != nil {
+				h.tr.Emit(obs.Event{
+					Cycle: cycle,
+					Type:  obs.EvInstant,
+					Core:  core,
+					Name:  "persist-drain",
+					Cat:   "persist",
+					Args: [obs.MaxEventArgs]obs.Arg{
+						{Key: "pending", Val: int64(wb.pending)},
+						{Key: "stores", Val: int64(e.stores)},
+					},
+				})
+			}
 			wb.pop()
 			accepted++
 		}

@@ -174,9 +174,15 @@ func Decode(b []byte) (*Image, error) {
 	}
 
 	nCRT := int(r.u32())
+	if nCRT < 0 || nCRT > 1<<8 {
+		return nil, fmt.Errorf("checkpoint: implausible CRT table count %d", nCRT)
+	}
 	for i := 0; i < nCRT; i++ {
 		t := rename.TableSnapshot{Class: isa.RegClass(r.u32())}
 		n := int(r.u32())
+		if n < 0 || n > 1<<16 {
+			return nil, fmt.Errorf("checkpoint: implausible CRT length %d", n)
+		}
 		t.CRT = make([]uint16, n)
 		for j := 0; j < n; j++ {
 			t.CRT[j] = uint16(r.u32())
@@ -184,8 +190,11 @@ func Decode(b []byte) (*Image, error) {
 		im.CRT = append(im.CRT, t)
 	}
 
-	decodeMask := func() []bool {
+	decodeMask := func() ([]bool, error) {
 		n := int(r.u32())
+		if n < 0 || n > 1<<20 {
+			return nil, fmt.Errorf("checkpoint: implausible mask length %d", n)
+		}
 		mask := make([]bool, n)
 		for i := 0; i < n; i += 8 {
 			byteVal := r.u8()
@@ -193,12 +202,20 @@ func Decode(b []byte) (*Image, error) {
 				mask[i+j] = byteVal&(1<<(7-j)) != 0
 			}
 		}
-		return mask
+		return mask, nil
 	}
-	im.MaskInt = decodeMask()
-	im.MaskFP = decodeMask()
+	var err error
+	if im.MaskInt, err = decodeMask(); err != nil {
+		return nil, err
+	}
+	if im.MaskFP, err = decodeMask(); err != nil {
+		return nil, err
+	}
 
 	nRegs := int(r.u32())
+	if nRegs < 0 || nRegs > 1<<20 {
+		return nil, fmt.Errorf("checkpoint: implausible register count %d", nRegs)
+	}
 	for i := 0; i < nRegs; i++ {
 		class := isa.RegClass(r.u32())
 		idx := uint16(r.u32())

@@ -12,6 +12,7 @@ import (
 	"ppa/internal/cache"
 	"ppa/internal/checkpoint"
 	"ppa/internal/nvm"
+	"ppa/internal/obs"
 	"ppa/internal/persist"
 	"ppa/internal/pipeline"
 	"ppa/internal/stats"
@@ -24,6 +25,11 @@ type Config struct {
 	NVM       nvm.Config
 	Pipeline  pipeline.Config // template; CoreID/Threads are set per core
 	Scheme    persist.Config
+
+	// Obs is the optional observability hub, propagated to every component
+	// of the machine. Excluded from JSON so machine configs stay
+	// serializable.
+	Obs *obs.Hub `json:"-"`
 }
 
 // DefaultConfig returns the Table 2 machine for n cores under a scheme.
@@ -100,6 +106,11 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 		dev = nvm.NewDevice(cfg.NVM)
 	}
 	hier := cache.New(cfg.Hierarchy, dev, workload.WarmResident, workload.L2Resident)
+	if cfg.Obs != nil {
+		dev.SetObs(cfg.Obs)
+		hier.SetObs(cfg.Obs)
+		cfg.Pipeline.Obs = cfg.Obs
+	}
 
 	s := &System{cfg: cfg, w: w, dev: dev, hier: hier}
 	var redo *persist.RedoPath
@@ -201,9 +212,26 @@ func (s *System) totalInsts() int { return s.w.TotalInsts() }
 // the energy-hungry alternative PPA's 2 KB checkpoint replaces. The
 // flushed byte count is retrievable via LastCrashFlushBytes.
 func (s *System) Crash() []*checkpoint.Image {
+	tr := s.cfg.Obs.Tracer()
+	tr.Emit(obs.Event{
+		Cycle: s.cycle,
+		Type:  obs.EvInstant,
+		Core:  obs.SystemTrack,
+		Name:  "power-fail",
+		Cat:   "checkpoint",
+		Args:  [obs.MaxEventArgs]obs.Arg{{Key: "dirty-words", Val: int64(s.hier.DirtyWordCount())}},
+	})
 	s.lastFlush = 0
 	if s.cfg.Scheme.Kind == persist.EADR {
 		s.lastFlush = s.hier.FlushAllDirty()
+		tr.Emit(obs.Event{
+			Cycle: s.cycle,
+			Type:  obs.EvInstant,
+			Core:  obs.SystemTrack,
+			Name:  "eadr-flush",
+			Cat:   "checkpoint",
+			Args:  [obs.MaxEventArgs]obs.Arg{{Key: "bytes", Val: int64(s.lastFlush)}},
+		})
 	}
 	images := make([]*checkpoint.Image, len(s.cores))
 	var blob []byte
@@ -211,7 +239,19 @@ func (s *System) Crash() []*checkpoint.Image {
 		im := checkpoint.Capture(c)
 		im.CoreID = i
 		images[i] = im
+		prev := len(blob)
 		blob = append(blob, im.Encode()...)
+		tr.Emit(obs.Event{
+			Cycle: s.cycle,
+			Type:  obs.EvInstant,
+			Core:  i,
+			Name:  "checkpoint-capture",
+			Cat:   "checkpoint",
+			Args: [obs.MaxEventArgs]obs.Arg{
+				{Key: "bytes", Val: int64(len(blob) - prev)},
+				{Key: "csq", Val: int64(len(im.CSQ))},
+			},
+		})
 	}
 	s.dev.WriteCheckpoint(blob)
 	for _, r := range s.redos {

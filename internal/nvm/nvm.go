@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ppa/internal/isa"
+	"ppa/internal/obs"
 )
 
 // Config holds the device parameters. All latencies are in core cycles.
@@ -126,6 +127,13 @@ type Device struct {
 	RejectedFull  uint64
 	BytesWritten  uint64
 	WPQOccupancyX uint64 // sum of occupancy per accepted write, for averages
+
+	// Observability (nil-safe when disabled). now is the last ticked cycle,
+	// used to stamp TryAccept events (TryAccept has no cycle parameter; the
+	// hierarchy calls it from the same cycle's Tick).
+	tr         *obs.Tracer
+	wpqRejects *obs.Counter
+	now        uint64
 }
 
 // NewDevice creates an NVM device with the given configuration.
@@ -165,6 +173,18 @@ func (d *Device) wearKey(line uint64) uint64 {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetObs attaches the observability hub: WPQ-full rejections become trace
+// events and the device's write-path statistics register as metrics.
+func (d *Device) SetObs(hub *obs.Hub) {
+	d.tr = hub.Tracer()
+	reg := hub.Registry()
+	d.wpqRejects = reg.Counter("nvm.wpq-rejects")
+	reg.BindGaugeFunc("nvm.line-writes", func() float64 { return float64(d.LineWrites) })
+	reg.BindGaugeFunc("nvm.coalesced", func() float64 { return float64(d.Coalesced) })
+	reg.BindGaugeFunc("nvm.media-writes", func() float64 { return float64(d.MediaWrites) })
+	reg.BindGaugeFunc("nvm.wpq-occupancy", func() float64 { return float64(d.WPQLen()) })
+}
 
 // Image exposes the durable memory image (for recovery and verification).
 func (d *Device) Image() *isa.MapMemory { return d.image }
@@ -232,6 +252,17 @@ func (d *Device) TryAccept(line uint64, words map[uint64]uint64) bool {
 	}
 	if len(ch.wpq) >= d.cfg.WPQEntries {
 		d.RejectedFull++
+		d.wpqRejects.Inc()
+		if d.tr != nil {
+			d.tr.Emit(obs.Event{
+				Cycle: d.now,
+				Type:  obs.EvInstant,
+				Core:  obs.SystemTrack,
+				Name:  "wpq-reject",
+				Cat:   "persist",
+				Args:  [obs.MaxEventArgs]obs.Arg{{Key: "occupancy", Val: int64(len(ch.wpq))}},
+			})
+		}
 		return false
 	}
 	cp := make(map[uint64]uint64, len(words))
@@ -263,6 +294,7 @@ func (d *Device) applyWords(words map[uint64]uint64) {
 // hot lines stay resident and absorb repeated persists without media
 // traffic — the behaviour Optane's internal write buffering provides.
 func (d *Device) Tick(cycle uint64) {
+	d.now = cycle
 	watermark := d.cfg.WCBEntries / 2
 	for i := range d.chans {
 		ch := &d.chans[i]

@@ -1,0 +1,38 @@
+package obs
+
+import "testing"
+
+// BenchmarkEmitDisabled measures the nil-sink fast path — the cost every
+// instrumented hot loop pays when observability is off.
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Name: "e", Cat: "bench"})
+	}
+}
+
+// BenchmarkEmitEnabled measures one ring-buffered emit with args.
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := NewTracer(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Name: "e", Cat: "bench",
+			Args: [MaxEventArgs]Arg{{Key: "a", Val: int64(i)}}})
+	}
+}
+
+// BenchmarkCounterDisabled measures the nil-counter no-op path.
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterEnabled measures the atomic increment path.
+func BenchmarkCounterEnabled(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

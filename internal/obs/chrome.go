@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is the on-the-wire trace_event record. Args marshal with
+// sorted keys (encoding/json sorts map keys), so output is deterministic.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	TS   uint64           `json:"ts"`
+	Dur  uint64           `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	S    string           `json:"s,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+func toChrome(ev Event) chromeEvent {
+	ce := chromeEvent{
+		Name: ev.Name,
+		Cat:  ev.Cat,
+		Ph:   ev.Type.String(),
+		TS:   ev.Cycle,
+		Pid:  0,
+		Tid:  ev.Core,
+	}
+	if ev.Type == EvComplete {
+		ce.Dur = ev.Dur
+	}
+	if ev.Type == EvInstant {
+		ce.S = "t" // thread-scoped instant
+	}
+	for _, a := range ev.Args {
+		if a.Key == "" {
+			continue
+		}
+		if ce.Args == nil {
+			ce.Args = make(map[string]int64, MaxEventArgs)
+		}
+		ce.Args[a.Key] = a.Val
+	}
+	return ce
+}
+
+// chromeEventIn is the lenient read-side shape: args values are arbitrary
+// JSON (metadata events carry strings); only integral numeric args survive
+// the conversion back to Event.
+type chromeEventIn struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func fromChrome(ce chromeEventIn) (Event, bool) {
+	var typ EventType
+	switch ce.Ph {
+	case "i", "I", "n":
+		typ = EvInstant
+	case "B":
+		typ = EvBegin
+	case "E":
+		typ = EvEnd
+	case "X":
+		typ = EvComplete
+	case "C":
+		typ = EvCounter
+	default: // metadata and phases we do not emit
+		return Event{}, false
+	}
+	ev := Event{
+		Type: typ,
+		Core: ce.Tid,
+		Name: ce.Name,
+		Cat:  ce.Cat,
+	}
+	if ce.TS >= 0 {
+		ev.Cycle = uint64(ce.TS)
+	}
+	if ce.Dur >= 0 {
+		ev.Dur = uint64(ce.Dur)
+	}
+	keys := make([]string, 0, len(ce.Args))
+	for k := range ce.Args {
+		if _, ok := ce.Args[k].(float64); ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) > MaxEventArgs {
+		keys = keys[:MaxEventArgs]
+	}
+	for i, k := range keys {
+		ev.Args[i] = Arg{Key: k, Val: int64(ce.Args[k].(float64))}
+	}
+	return ev, true
+}
+
+// WriteChromeTrace renders events as a Chrome trace_event JSON document
+// ("JSON object format"), loadable in chrome://tracing and Perfetto.
+// Timestamps are simulation cycles (displayed as microseconds by the
+// viewers). One line per event keeps the file diffable.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	// Metadata events carry string args, so they use a dedicated shape.
+	type metaEvent struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+
+	// Name the process and the per-core tracks seen in the event stream.
+	cores := map[int]bool{}
+	for _, ev := range events {
+		cores[ev.Core] = true
+	}
+	coreIDs := make([]int, 0, len(cores))
+	for c := range cores {
+		coreIDs = append(coreIDs, c)
+	}
+	sort.Ints(coreIDs)
+	records := make([]any, 0, 1+len(coreIDs)+len(events))
+	records = append(records, metaEvent{Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]string{"name": "ppa"}})
+	for _, c := range coreIDs {
+		name := fmt.Sprintf("core%d", c)
+		if c == SystemTrack {
+			name = "system"
+		}
+		records = append(records, metaEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: c,
+			Args: map[string]string{"name": name}})
+	}
+	for _, ev := range events {
+		records = append(records, toChrome(ev))
+	}
+
+	for i, rec := range records {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if i != len(records)-1 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadChromeTrace parses a Chrome trace_event JSON document (object format
+// with a traceEvents array, or a bare event array) back into events.
+// Metadata events are skipped; args keys beyond MaxEventArgs are dropped
+// (sorted order, so the kept set is deterministic).
+func ReadChromeTrace(r io.Reader) ([]Event, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		TraceEvents []chromeEventIn `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		// Bare-array form.
+		var arr []chromeEventIn
+		if err2 := json.Unmarshal(data, &arr); err2 != nil {
+			return nil, fmt.Errorf("obs: not a chrome trace: %w", err)
+		}
+		doc.TraceEvents = arr
+	}
+	out := make([]Event, 0, len(doc.TraceEvents))
+	for _, ce := range doc.TraceEvents {
+		if ev, ok := fromChrome(ce); ok {
+			out = append(out, ev)
+		}
+	}
+	return out, nil
+}
+
+// WriteEventsJSONL writes one trace_event JSON object per line (no
+// envelope) — convenient for grep/jq pipelines.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(toChrome(ev)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a fixed event stream covering every phase, the system
+// track, and arg edge cases (empty slots, full slots).
+func goldenEvents() []Event {
+	return []Event{
+		{Cycle: 0, Dur: 120, Type: EvComplete, Core: 0, Name: "region", Cat: "region",
+			Args: [MaxEventArgs]Arg{{Key: "cause", Val: 0}, {Key: "insts", Val: 400}, {Key: "stall", Val: 12}, {Key: "stores", Val: 31}}},
+		{Cycle: 108, Dur: 12, Type: EvComplete, Core: 0, Name: "region-barrier", Cat: "persist",
+			Args: [MaxEventArgs]Arg{{Key: "cause", Val: 0}}},
+		{Cycle: 110, Type: EvInstant, Core: 1, Name: "persist-drain", Cat: "persist",
+			Args: [MaxEventArgs]Arg{{Key: "pending", Val: 3}, {Key: "stores", Val: 8}}},
+		{Cycle: 111, Type: EvBegin, Core: 1, Name: "recovery", Cat: "checkpoint"},
+		{Cycle: 140, Type: EvEnd, Core: 1, Name: "recovery", Cat: "checkpoint"},
+		{Cycle: 150, Type: EvCounter, Core: 0, Name: "csq-high-water", Cat: "persist",
+			Args: [MaxEventArgs]Arg{{Key: "depth", Val: 17}}},
+		{Cycle: 200, Type: EvInstant, Core: SystemTrack, Name: "power-fail", Cat: "checkpoint",
+			Args: [MaxEventArgs]Arg{{Key: "dirty-words", Val: 910}}},
+	}
+}
+
+func TestChromeTraceGoldenRoundTrip(t *testing.T) {
+	events := goldenEvents()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exporter output drifted from golden file:\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+
+	// Reading the golden file must reproduce the events exactly: the
+	// emitters keep args in ascending key order, matching the reader.
+	got, err := ReadChromeTrace(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round-trip: %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d round-trip mismatch:\ngot  %+v\nwant %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadChromeTraceBareArray(t *testing.T) {
+	in := `[{"name":"x","ph":"i","ts":5,"pid":0,"tid":2,"args":{"v":7}},
+	        {"name":"meta","ph":"M","pid":0,"tid":0,"args":{"name":"ppa"}}]`
+	evs, err := ReadChromeTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1 (metadata skipped)", len(evs))
+	}
+	ev := evs[0]
+	if ev.Name != "x" || ev.Cycle != 5 || ev.Core != 2 || ev.Args[0] != (Arg{Key: "v", Val: 7}) {
+		t.Fatalf("parsed event %+v", ev)
+	}
+}
+
+func TestReadChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("want error for non-JSON input")
+	}
+}
+
+func TestWriteEventsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEventsJSONL(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(goldenEvents()) {
+		t.Fatalf("%d lines, want %d", len(lines), len(goldenEvents()))
+	}
+	if !strings.Contains(lines[0], `"ph":"X"`) || !strings.Contains(lines[0], `"cause":0`) {
+		t.Fatalf("first line: %s", lines[0])
+	}
+}

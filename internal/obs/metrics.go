@@ -1,0 +1,375 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. A nil Counter discards
+// updates, so components can hold one unconditionally.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric. A nil Gauge discards updates.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last set value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram tracks count/sum/min/max of observations. A nil Histogram
+// discards updates.
+type Histogram struct {
+	mu    sync.Mutex
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the observation count.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// snapshot returns count, sum, min, max atomically.
+func (h *Histogram) snapshot() (uint64, float64, float64, float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, h.min, h.max
+}
+
+// metricKind tags a registry entry.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindGaugeFunc
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	case kindGaugeFunc:
+		return "gauge"
+	default:
+		return "?"
+	}
+}
+
+type metric struct {
+	kind metricKind
+	ctr  *Counter
+	gau  *Gauge
+	hist *Histogram
+	fn   func() float64
+}
+
+// Registry is the central table of named metrics. Strict registration
+// (NewCounter/NewGauge/NewHistogram) errors on a duplicate name; the
+// GetOrCreate variants return the existing metric so long as the kind
+// matches, which lets sequential runs share one Hub (their values then
+// accumulate). BindGaugeFunc rebinds on re-registration — last system wins
+// — because a gauge function is a live view of whichever system currently
+// backs it. A nil Registry accepts every call and hands back nil metrics.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{metrics: make(map[string]*metric)} }
+
+func (r *Registry) register(name string, kind metricKind, strict bool) (*metric, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if strict {
+			return nil, fmt.Errorf("obs: metric %q already registered as %s", name, m.kind)
+		}
+		if m.kind != kind {
+			return nil, fmt.Errorf("obs: metric %q is a %s, not a %s", name, m.kind, kind)
+		}
+		return m, nil
+	}
+	m := &metric{kind: kind}
+	switch kind {
+	case kindCounter:
+		m.ctr = &Counter{}
+	case kindGauge:
+		m.gau = &Gauge{}
+	case kindHistogram:
+		m.hist = &Histogram{}
+	}
+	r.metrics[name] = m
+	return m, nil
+}
+
+// NewCounter registers a counter, erroring if the name is taken.
+func (r *Registry) NewCounter(name string) (*Counter, error) {
+	if r == nil {
+		return nil, nil
+	}
+	m, err := r.register(name, kindCounter, true)
+	if err != nil {
+		return nil, err
+	}
+	return m.ctr, nil
+}
+
+// NewGauge registers a gauge, erroring if the name is taken.
+func (r *Registry) NewGauge(name string) (*Gauge, error) {
+	if r == nil {
+		return nil, nil
+	}
+	m, err := r.register(name, kindGauge, true)
+	if err != nil {
+		return nil, err
+	}
+	return m.gau, nil
+}
+
+// NewHistogram registers a histogram, erroring if the name is taken.
+func (r *Registry) NewHistogram(name string) (*Histogram, error) {
+	if r == nil {
+		return nil, nil
+	}
+	m, err := r.register(name, kindHistogram, true)
+	if err != nil {
+		return nil, err
+	}
+	return m.hist, nil
+}
+
+// Counter returns the named counter, creating it on first use. It returns
+// nil (a no-op counter) when the name is bound to a different metric kind.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m, err := r.register(name, kindCounter, false)
+	if err != nil {
+		return nil
+	}
+	return m.ctr
+}
+
+// Gauge returns the named gauge, creating it on first use. It returns nil
+// when the name is bound to a different metric kind.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m, err := r.register(name, kindGauge, false)
+	if err != nil {
+		return nil
+	}
+	return m.gau
+}
+
+// Histogram returns the named histogram, creating it on first use. It
+// returns nil when the name is bound to a different metric kind.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m, err := r.register(name, kindHistogram, false)
+	if err != nil {
+		return nil
+	}
+	return m.hist
+}
+
+// BindGaugeFunc registers (or rebinds) a gauge sampled by calling fn at
+// snapshot time. Snapshot must only be called when the system backing fn is
+// quiescent; the registry does not serialize fn against the simulator.
+func (r *Registry) BindGaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.kind == kindGaugeFunc {
+		m.fn = fn
+		return
+	}
+	r.metrics[name] = &metric{kind: kindGaugeFunc, fn: fn}
+}
+
+// Sample is one metric's exported state.
+type Sample struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// Snapshot returns every metric's current state, sorted by name. Gauge
+// functions are invoked, so call only while the instrumented system is
+// quiescent.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(names))
+	for i, n := range names {
+		m := ms[i]
+		s := Sample{Name: n, Kind: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.ctr.Value())
+		case kindGauge:
+			s.Value = m.gau.Value()
+		case kindGaugeFunc:
+			s.Value = m.fn()
+		case kindHistogram:
+			count, sum, min, max := m.hist.snapshot()
+			s.Count, s.Sum, s.Min, s.Max = count, sum, min, max
+			if count > 0 {
+				s.Value = sum / float64(count)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSONL writes the snapshot as one JSON object per line.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		line, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hub bundles the two halves of the observability layer so a single value
+// can be threaded through the machine configuration. A nil Hub disables
+// everything.
+type Hub struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// NewHub returns a hub with a fresh registry and a tracer of the given ring
+// capacity (DefaultTraceCapacity when <= 0).
+func NewHub(traceCapacity int) *Hub {
+	if traceCapacity <= 0 {
+		traceCapacity = DefaultTraceCapacity
+	}
+	return &Hub{Metrics: NewRegistry(), Trace: NewTracer(traceCapacity)}
+}
+
+// Tracer returns the hub's tracer (nil for a nil hub).
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.Trace
+}
+
+// Registry returns the hub's metrics registry (nil for a nil hub).
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.Metrics
+}

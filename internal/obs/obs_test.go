@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryDoubleRegister(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.NewCounter("x"); err != nil {
+		t.Fatalf("first NewCounter: %v", err)
+	}
+	if _, err := r.NewCounter("x"); err == nil {
+		t.Fatal("second NewCounter on same name: want error, got nil")
+	}
+	if _, err := r.NewGauge("x"); err == nil {
+		t.Fatal("NewGauge on counter name: want error, got nil")
+	}
+	if _, err := r.NewHistogram("h"); err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	if _, err := r.NewHistogram("h"); err == nil {
+		t.Fatal("second NewHistogram on same name: want error, got nil")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("runs")
+	c1.Add(3)
+	c2 := r.Counter("runs")
+	if c1 != c2 {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	c2.Add(2)
+	if got := c1.Value(); got != 5 {
+		t.Fatalf("shared counter = %d, want 5", got)
+	}
+	// Kind mismatch degrades to a nil (no-op) metric, not a panic.
+	g := r.Gauge("runs")
+	if g != nil {
+		t.Fatal("Gauge on counter name: want nil")
+	}
+	g.Set(1) // must not panic
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c").Observe(2)
+	r.BindGaugeFunc("d", func() float64 { return 3 })
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil registry snapshot: %v", s)
+	}
+	if _, err := r.NewCounter("e"); err != nil {
+		t.Fatalf("nil registry NewCounter: %v", err)
+	}
+}
+
+func TestBindGaugeFuncRebinds(t *testing.T) {
+	r := NewRegistry()
+	r.BindGaugeFunc("live", func() float64 { return 1 })
+	r.BindGaugeFunc("live", func() float64 { return 2 })
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 2 {
+		t.Fatalf("rebind: snapshot %v, want single value 2", snap)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []float64{4, 2, 6} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Mean() != 4 {
+		t.Fatalf("count=%d mean=%f, want 3 and 4", h.Count(), h.Mean())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len %d", len(snap))
+	}
+	s := snap[0]
+	if s.Min != 2 || s.Max != 6 || s.Sum != 12 || s.Count != 3 {
+		t.Fatalf("histogram sample %+v", s)
+	}
+}
+
+func TestSnapshotSortedAndJSONL(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Inc()
+	r.Counter("a").Add(2)
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "z" {
+		t.Fatalf("snapshot not sorted: %v", snap)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], `"name":"a"`) {
+		t.Fatalf("jsonl: %q", sb.String())
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Name: "e"})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	// The ring keeps the most recent window, oldest first: cycles 6..9.
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Cycle != want {
+			t.Fatalf("event %d cycle = %d, want %d (events %v)", i, ev.Cycle, want, evs)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total after Reset = %d, want 10 (emit total is kept)", tr.Total())
+	}
+	tr.Emit(Event{Cycle: 99})
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Cycle != 99 {
+		t.Fatalf("post-reset events: %v", evs)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Cycle: 1})
+	if tr.Enabled() || tr.Len() != 0 || tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+	tr.Reset()
+}
+
+func TestHubNil(t *testing.T) {
+	var h *Hub
+	if h.Tracer() != nil || h.Registry() != nil {
+		t.Fatal("nil hub accessors must return nil")
+	}
+	h2 := NewHub(16)
+	if h2.Tracer() == nil || h2.Registry() == nil {
+		t.Fatal("NewHub must populate both halves")
+	}
+}

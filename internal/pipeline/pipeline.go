@@ -19,6 +19,7 @@ import (
 
 	"ppa/internal/cache"
 	"ppa/internal/isa"
+	"ppa/internal/obs"
 	"ppa/internal/persist"
 	"ppa/internal/rename"
 	"ppa/internal/stats"
@@ -62,6 +63,11 @@ type Config struct {
 	// StartAt begins execution at a dynamic instruction index (used to
 	// resume a recovered program after LCPC).
 	StartAt int
+
+	// Obs is the optional observability hub (event tracing + metrics). A
+	// nil hub disables instrumentation at nil-check cost. Excluded from
+	// JSON so machine configs stay serializable.
+	Obs *obs.Hub `json:"-"`
 }
 
 // DefaultConfig returns the Table 2 core with the given scheme.
@@ -272,6 +278,11 @@ type Core struct {
 	st   Stats
 	done bool
 
+	// tr is nil unless Config.Obs carries a tracer; regionStartCycle
+	// stamps the open region's first cycle for region trace slices.
+	tr               *obs.Tracer
+	regionStartCycle uint64
+
 	rngState uint64 // deterministic branch-outcome hash state
 }
 
@@ -302,6 +313,16 @@ func New(cfg Config, prog *isa.Program, hier *cache.Hierarchy, redo *persist.Red
 	if cfg.SampleFreeRegs {
 		c.st.FreeInt = stats.NewCDF()
 		c.st.FreeFP = stats.NewCDF()
+	}
+	c.tr = cfg.Obs.Tracer()
+	if reg := cfg.Obs.Registry(); reg != nil {
+		p := fmt.Sprintf("core%d.", cfg.CoreID)
+		c.ren.RegisterMetrics(reg, p+"rename.")
+		reg.BindGaugeFunc(p+"pipeline.regions", func() float64 { return float64(c.st.Regions) })
+		reg.BindGaugeFunc(p+"pipeline.region-end-stalls", func() float64 { return float64(c.st.RegionEndStalls) })
+		reg.BindGaugeFunc(p+"pipeline.rename-no-reg-stalls", func() float64 { return float64(c.st.RenameNoRegStalls) })
+		reg.BindGaugeFunc(p+"pipeline.wb-full-stalls", func() float64 { return float64(c.st.WBFullStalls) })
+		reg.BindGaugeFunc(p+"pipeline.csq-max-depth", func() float64 { return float64(c.st.CSQMaxDepth) })
 	}
 	return c, nil
 }
@@ -456,9 +477,7 @@ func (c *Core) commitStore(e *robEntry, cycle uint64) bool {
 			Seq:          e.idx,
 			ValueBearing: true,
 		})
-		if len(c.csq) > c.st.CSQMaxDepth {
-			c.st.CSQMaxDepth = len(c.csq)
-		}
+		c.noteCSQDepth(cycle)
 		c.gatedSQ++
 		c.storesInROB--
 		return true
@@ -521,9 +540,7 @@ func (c *Core) commitStore(e *robEntry, cycle uint64) bool {
 			}
 		}
 		c.csq = append(c.csq, entry)
-		if len(c.csq) > c.st.CSQMaxDepth {
-			c.st.CSQMaxDepth = len(c.csq)
-		}
+		c.noteCSQDepth(cycle)
 		// Eager pre-boundary flush (extension, off by default): once the
 		// CSQ is three-quarters full the region will end soon, so stop
 		// lazily coalescing and push the pending writebacks toward the WPQ
@@ -535,6 +552,25 @@ func (c *Core) commitStore(e *robEntry, cycle uint64) bool {
 		}
 	}
 	return true
+}
+
+// noteCSQDepth tracks the committed store queue's high-water mark and
+// traces each new maximum (low-frequency: at most CSQEntries events/run).
+func (c *Core) noteCSQDepth(cycle uint64) {
+	if len(c.csq) <= c.st.CSQMaxDepth {
+		return
+	}
+	c.st.CSQMaxDepth = len(c.csq)
+	if c.tr != nil {
+		c.tr.Emit(obs.Event{
+			Cycle: cycle,
+			Type:  obs.EvCounter,
+			Core:  c.cfg.CoreID,
+			Name:  "csq-high-water",
+			Cat:   "persist",
+			Args:  [obs.MaxEventArgs]obs.Arg{{Key: "depth", Val: int64(len(c.csq))}},
+		})
+	}
 }
 
 // regionDirty reports whether the current region has stores that are not
@@ -618,11 +654,61 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 			StallCycles: cycle - c.epochArmedAt,
 		})
 	}
+	if c.tr != nil {
+		c.emitRegion(cycle, cause, cycle-c.epochArmedAt)
+	}
 	c.regionInsts = 0
 	c.regionStores = 0
 	c.epochArmed = false
 	c.eagerFlushed = false
 	return true
+}
+
+// emitRegion traces one closed region: the region slice itself, the
+// barrier-wait slice when the boundary stalled, and a rename-pressure
+// counter sample (free registers and MaskReg occupancy at the boundary —
+// the Figure 5/12 evidence). Args are ordered by key for stable export.
+func (c *Core) emitRegion(cycle uint64, cause BoundaryCause, stall uint64) {
+	c.tr.Emit(obs.Event{
+		Cycle: c.regionStartCycle,
+		Dur:   cycle - c.regionStartCycle,
+		Type:  obs.EvComplete,
+		Core:  c.cfg.CoreID,
+		Name:  "region",
+		Cat:   "region",
+		Args: [obs.MaxEventArgs]obs.Arg{
+			{Key: "cause", Val: int64(cause)},
+			{Key: "insts", Val: int64(c.regionInsts)},
+			{Key: "stall", Val: int64(stall)},
+			{Key: "stores", Val: int64(c.regionStores)},
+		},
+	})
+	if stall > 0 {
+		c.tr.Emit(obs.Event{
+			Cycle: cycle - stall,
+			Dur:   stall,
+			Type:  obs.EvComplete,
+			Core:  c.cfg.CoreID,
+			Name:  "region-barrier",
+			Cat:   "persist",
+			Args: [obs.MaxEventArgs]obs.Arg{
+				{Key: "cause", Val: int64(cause)},
+			},
+		})
+	}
+	c.tr.Emit(obs.Event{
+		Cycle: cycle,
+		Type:  obs.EvCounter,
+		Core:  c.cfg.CoreID,
+		Name:  "rename-pressure",
+		Cat:   "rename",
+		Args: [obs.MaxEventArgs]obs.Arg{
+			{Key: "free-fp", Val: int64(c.ren.FreeCount(isa.ClassFP))},
+			{Key: "free-int", Val: int64(c.ren.FreeCount(isa.ClassInt))},
+			{Key: "masked", Val: int64(c.ren.MaskedCount())},
+		},
+	})
+	c.regionStartCycle = cycle
 }
 
 // fixedBarrierDone drives a commit-side fixed-region boundary: Capri waits
@@ -639,7 +725,7 @@ func (c *Core) fixedBarrierDone(cycle uint64) bool {
 			return false
 		}
 		c.boundaryReadyAt = 0
-		c.endFixedRegion()
+		c.endFixedRegion(cycle)
 		return true
 	}
 	return c.tryEndRegion(cycle, BoundaryFixed)
@@ -762,11 +848,14 @@ func (c *Core) resolveBoundary(cycle uint64) bool {
 
 // endFixedRegion records region statistics for schemes whose boundary does
 // not interact with MaskReg/CSQ (Capri).
-func (c *Core) endFixedRegion() {
+func (c *Core) endFixedRegion(cycle uint64) {
 	c.st.Regions++
 	c.st.BoundaryCounts[BoundaryFixed]++
 	c.st.RegionOther.Add(int64(c.regionInsts - c.regionStores))
 	c.st.RegionStores.Add(int64(c.regionStores))
+	if c.tr != nil {
+		c.emitRegion(cycle, BoundaryFixed, 0)
+	}
 	c.regionInsts = 0
 	c.regionStores = 0
 }

@@ -14,6 +14,7 @@ import (
 	"ppa/internal/checkpoint"
 	"ppa/internal/isa"
 	"ppa/internal/nvm"
+	"ppa/internal/obs"
 	"ppa/internal/rename"
 )
 
@@ -106,6 +107,29 @@ func Recover(dev *nvm.Device, im *checkpoint.Image, prog *isa.Program) (*Outcome
 	if idx > 0 && idx <= prog.Len() {
 		out.ResumePC = prog.Insts[idx-1].PC + 4
 	}
+	return out, nil
+}
+
+// RecoverObserved runs Recover and traces its phases on the hub: one
+// "recovery-replay" instant per core with the replayed word count and
+// resume index, stamped at atCycle (the crash cycle — recovery happens
+// while the machine clock is stopped). A nil hub just runs Recover.
+func RecoverObserved(dev *nvm.Device, im *checkpoint.Image, prog *isa.Program, hub *obs.Hub, atCycle uint64) (*Outcome, error) {
+	out, err := Recover(dev, im, prog)
+	if err != nil {
+		return nil, err
+	}
+	hub.Tracer().Emit(obs.Event{
+		Cycle: atCycle,
+		Type:  obs.EvInstant,
+		Core:  im.CoreID,
+		Name:  "recovery-replay",
+		Cat:   "checkpoint",
+		Args: [obs.MaxEventArgs]obs.Arg{
+			{Key: "resume", Val: int64(out.ResumeIndex)},
+			{Key: "words", Val: int64(out.ReplayedWords)},
+		},
+	})
 	return out, nil
 }
 

@@ -1,0 +1,19 @@
+package rename
+
+import (
+	"ppa/internal/isa"
+	"ppa/internal/obs"
+)
+
+// RegisterMetrics binds the renamer's pressure indicators into an
+// observability registry under the given name prefix (e.g. "core0.rename.").
+// Gauge functions are live views: they read the renamer when the registry
+// snapshots, so snapshot only while the core is quiescent. Re-registering
+// (a later run sharing the registry) rebinds the gauges to the new renamer.
+func (r *Renamer) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.BindGaugeFunc(prefix+"free-int", func() float64 { return float64(r.FreeCount(isa.ClassInt)) })
+	reg.BindGaugeFunc(prefix+"free-fp", func() float64 { return float64(r.FreeCount(isa.ClassFP)) })
+	reg.BindGaugeFunc(prefix+"masked", func() float64 { return float64(r.MaskedCount()) })
+	reg.BindGaugeFunc(prefix+"stalls", func() float64 { return float64(r.RenameStalls) })
+	reg.BindGaugeFunc(prefix+"deferred-frees", func() float64 { return float64(r.DeferredFrees) })
+}

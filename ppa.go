@@ -20,11 +20,13 @@ package ppa
 
 import (
 	"fmt"
+	"io"
 
 	"ppa/internal/cache"
 	"ppa/internal/checkpoint"
 	"ppa/internal/multicore"
 	"ppa/internal/nvm"
+	"ppa/internal/obs"
 	"ppa/internal/persist"
 	"ppa/internal/pipeline"
 	"ppa/internal/recovery"
@@ -94,10 +96,46 @@ type RunConfig struct {
 	Customize func(*multicore.Config)
 	// SampleFreeRegs enables per-cycle free-register CDFs (Figure 5).
 	SampleFreeRegs bool
+	// Obs attaches an observability hub (event tracing + metrics) to the
+	// machine. When nil, the package-level DefaultObs applies (which is
+	// itself nil unless a tool installed one); a nil hub disables
+	// instrumentation entirely.
+	Obs *obs.Hub
 }
+
+// DefaultObs, when non-nil, is attached to every system NewSystem builds
+// whose RunConfig does not carry its own hub. The experiment harness
+// (FigXX functions, ppabench) assembles machines internally; installing a
+// hub here is how tools trace those runs without threading a hub through
+// every call site. Sequential runs share the hub: trace events interleave
+// (distinguish by cycle restarts) and counters accumulate.
+var DefaultObs *obs.Hub
 
 // DefaultInsts is the default per-thread dynamic instruction count.
 const DefaultInsts = 60_000
+
+// NewObsHub builds an observability hub (metrics registry + event tracer)
+// for RunConfig.Obs or DefaultObs. traceCapacity bounds the trace ring
+// buffer in events; <= 0 selects the default (2^20 events, keeping the most
+// recent window). The hub lives in an internal package, so this constructor
+// and the Write* helpers below are the public handle: callers hold the
+// returned value opaquely and chain its methods.
+func NewObsHub(traceCapacity int) *obs.Hub {
+	return obs.NewHub(traceCapacity)
+}
+
+// WriteChromeTrace renders a hub's recorded events as a Chrome trace_event
+// JSON document (open in chrome://tracing or Perfetto). A nil hub writes an
+// empty trace.
+func WriteChromeTrace(w io.Writer, hub *obs.Hub) error {
+	return obs.WriteChromeTrace(w, hub.Tracer().Events())
+}
+
+// WriteMetricsJSONL writes a hub's metrics registry snapshot as JSON Lines,
+// one sample per line, sorted by name. A nil hub writes nothing.
+func WriteMetricsJSONL(w io.Writer, hub *obs.Hub) error {
+	return hub.Registry().WriteJSONL(w)
+}
 
 func (rc RunConfig) resolve() (workload.Profile, persist.Config, int, error) {
 	var prof workload.Profile
@@ -167,6 +205,10 @@ func NewSystem(rc RunConfig) (*multicore.System, error) {
 	}
 	cfg := multicore.DefaultConfig(len(w.Threads), sch)
 	cfg.Pipeline.SampleFreeRegs = rc.SampleFreeRegs
+	cfg.Obs = rc.Obs
+	if cfg.Obs == nil {
+		cfg.Obs = DefaultObs
+	}
 	if rc.Customize != nil {
 		rc.Customize(&cfg)
 	}
@@ -248,10 +290,14 @@ func RunWithFailure(rc RunConfig, failCycle uint64) (*FailureOutcome, error) {
 	}
 
 	// Recovery: replay each core's CSQ, then verify the contract.
+	hub := rc.Obs
+	if hub == nil {
+		hub = DefaultObs
+	}
 	committed := make([]int, len(images))
 	for i, im := range images {
 		prog := sys.Cores()[i].Program()
-		o, rerr := recovery.Recover(dev, im, prog)
+		o, rerr := recovery.RecoverObserved(dev, im, prog, hub, sys.Cycle())
 		if rerr != nil {
 			return nil, rerr
 		}
