@@ -1,0 +1,171 @@
+// Command ppatorture sweeps the adversarial fault-injection torture
+// harness over a workload: thousands of (failure cycle × fault kind ×
+// parameter) points, each crashing the machine, damaging what the crash
+// persisted, and demanding that recovery either converge to a consistent
+// committed prefix or refuse the damage with a typed error. Violations are
+// shrunk to a minimal reproducer and the process exits non-zero.
+//
+// Usage:
+//
+//	ppatorture -app mcf -scheme ppa -points 2000
+//	ppatorture -app gcc -insts 4000 -points 500 -seed 7 -out report.json
+//	ppatorture -repro repro.json             # replay a saved reproducer
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ppa"
+	"ppa/internal/fault"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppatorture: ")
+
+	appFlag := flag.String("app", "mcf", "application name from the workload suite")
+	schemeFlag := flag.String("scheme", "ppa", "persistence scheme (the contract targets ppa)")
+	insts := flag.Int("insts", 2_000, "dynamic instructions per thread")
+	points := flag.Int("points", 2_000, "number of torture points to sweep")
+	seed := flag.Int64("seed", 1, "sweep generator seed")
+	minCycle := flag.Uint64("mincycle", 200, "earliest failure cycle")
+	maxCycle := flag.Uint64("maxcycle", 8_000, "failure cycles are uniform in [mincycle, maxcycle)")
+	kindFlag := flag.String("kind", "", "restrict the sweep to one fault kind (torn-checkpoint|nested-outage|bit-flip|torn-word|drop-tail)")
+	outPath := flag.String("out", "", "write the sweep report as JSON")
+	reproPath := flag.String("repro", "", "path for the shrunk reproducer JSON written on violation (default ppatorture-repro.json)")
+	replayPath := flag.String("replay", "", "replay a saved reproducer JSON and exit")
+	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot as JSON Lines")
+	verbose := flag.Bool("v", false, "print every point's verdict")
+	flag.Parse()
+
+	hub := ppa.NewObsHub(0)
+	rc := ppa.RunConfig{
+		App:            *appFlag,
+		Scheme:         ppa.Scheme(*schemeFlag),
+		InstsPerThread: *insts,
+		Obs:            hub,
+	}
+
+	if *replayPath != "" {
+		if err := replay(rc, *replayPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	sweep := ppa.TorturePoints(*seed, *points, *minCycle, *maxCycle)
+	if *kindFlag != "" {
+		k, err := fault.ParseKind(*kindFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var kept []ppa.TorturePoint
+		for _, p := range sweep {
+			if p.Fault.Kind == k {
+				kept = append(kept, p)
+			}
+		}
+		sweep = kept
+	}
+	log.Printf("sweeping %d points: app=%s scheme=%s insts=%d cycles=[%d,%d) seed=%d",
+		len(sweep), *appFlag, *schemeFlag, *insts, *minCycle, *maxCycle, *seed)
+
+	onPoint := func(out *ppa.TortureOutcome) {
+		if *verbose || out.Violation != "" {
+			status := "ok"
+			switch {
+			case out.Violation != "":
+				status = "VIOLATION: " + out.Violation
+			case out.Detected:
+				status = "detected: " + out.DetectedAs
+			case out.CompletedBeforeFailure:
+				status = "completed before failure"
+			}
+			log.Printf("  %v -> %s", out.Point, status)
+		}
+	}
+	rep, err := ppa.RunTorture(rc, sweep, onPoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("%d points: %d injected, %d detected, %d recovered, %d completed-before-failure, %d violations",
+		rep.Points, rep.Injected, rep.Detected, rep.Recovered,
+		rep.CompletedBeforeFailure, len(rep.Violations))
+	for kind, n := range rep.ByKind {
+		log.Printf("  %-16s %d points", kind, n)
+	}
+
+	if *outPath != "" {
+		if err := writeJSON(*outPath, rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ppa.WriteMetricsJSONL(f, hub); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	if len(rep.Violations) > 0 {
+		first := rep.Violations[0]
+		log.Printf("shrinking first violation: %v", first.Point)
+		min, err := ppa.ShrinkTorturePoint(rc, first.Point, *minCycle)
+		if err != nil {
+			log.Printf("shrink failed: %v", err)
+			min = first.Point
+		}
+		log.Printf("minimal reproducer: %v (replay with -replay <file>)", min)
+		path := *reproPath
+		if path == "" {
+			path = "ppatorture-repro.json"
+		}
+		if err := writeJSON(path, min); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("reproducer written to %s", path)
+		os.Exit(1)
+	}
+}
+
+// replay re-runs a saved reproducer point and reports its verdict.
+func replay(rc ppa.RunConfig, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var p ppa.TorturePoint
+	if err := json.Unmarshal(blob, &p); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	out, err := ppa.RunTorturePoint(rc, p)
+	if err != nil {
+		return err
+	}
+	blob, _ = json.MarshalIndent(out, "", "  ")
+	fmt.Println(string(blob))
+	if out.Violation != "" {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func writeJSON(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -53,8 +53,12 @@ type ScheduleOutcome struct {
 	CheckpointBytes int
 }
 
-// Consistent reports whether every recovery satisfied the contract.
+// Consistent reports whether every recovery satisfied the contract: no
+// per-recovery verdict failed and no committed-prefix word was lost.
 func (o *ScheduleOutcome) Consistent() bool {
+	if o.TotalInconsistencies != 0 {
+		return false
+	}
 	for _, ok := range o.ConsistentAfterEach {
 		if !ok {
 			return false
@@ -115,21 +119,31 @@ func RunWithFailureSchedule(rc RunConfig, schedule FailureSchedule) (*ScheduleOu
 			return out, nil
 		}
 		local := next - globalCycle
-		if sys.RunUntil(local) {
+		done, rerr := sys.RunUntil(local)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if done {
 			out.TotalCycles = globalCycle + sys.Cycle()
 			out.Completed = true
 			return out, nil
 		}
 		globalCycle += sys.Cycle()
 
-		// Power failure: checkpoint, lose volatile state, recover.
-		images := sys.Crash()
+		// Power failure: checkpoint, lose volatile state, then recover from
+		// the NVM checkpoint area — the only state a real outage leaves
+		// behind — validating framing and checksums on the way in.
+		sys.Crash()
 		out.Failures++
 		out.FailCycles = append(out.FailCycles, globalCycle)
+		images, lerr := recovery.LoadImages(sys.Device())
+		if lerr != nil {
+			return nil, lerr
+		}
 		consistent := true
-		for i, im := range images {
+		for _, im := range images {
 			out.CheckpointBytes += len(im.Encode())
-			prog := sys.Cores()[i].Program()
+			prog := sys.Cores()[im.CoreID].Program()
 			if _, rerr := recovery.Replay(sys.Device(), im); rerr != nil {
 				return nil, rerr
 			}
@@ -137,9 +151,12 @@ func RunWithFailureSchedule(rc RunConfig, schedule FailureSchedule) (*ScheduleOu
 				consistent = false
 				out.TotalInconsistencies += n
 			}
-			startAt[i] = im.Committed
+			startAt[im.CoreID] = im.Committed
 		}
 		out.ConsistentAfterEach = append(out.ConsistentAfterEach, consistent)
+		// Recovery complete: invalidate the consumed checkpoint before
+		// resuming, exactly as the recovery firmware would.
+		sys.Device().ClearCheckpoint()
 
 		resumed, berr := build()
 		if berr != nil {

@@ -10,8 +10,10 @@ import (
 
 	"ppa/internal/checkpoint"
 	"ppa/internal/isa"
+	"ppa/internal/nvm"
 	"ppa/internal/obs"
 	"ppa/internal/pipeline"
+	"ppa/internal/recovery"
 	"ppa/internal/rename"
 )
 
@@ -133,9 +135,19 @@ func FuzzCheckpointDecode(f *testing.F) {
 			{Phys: rename.PhysRef{Class: isa.ClassInt, Idx: 12}, Val: 0xdead},
 		},
 	}
-	f.Add(seed.Encode())
+	blob := seed.Encode()
+	f.Add(blob)
 	f.Add([]byte{})
 	f.Add([]byte{0x43, 0x41, 0x50, 0x50}) // magic, nothing else
+	// v2-format adversarial seeds: torn tails, a flipped header length
+	// bit, a flipped section-payload bit, and a lone header.
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:16])
+	for _, bit := range []int{8*8 + 1, 18 * 8, len(blob)*8 - 3} {
+		m := append([]byte(nil), blob...)
+		m[bit/8] ^= 1 << (bit % 8)
+		f.Add(m)
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		im, err := checkpoint.Decode(b)
 		if err != nil {
@@ -147,6 +159,64 @@ func FuzzCheckpointDecode(f *testing.F) {
 		}
 		if !reflect.DeepEqual(im, again) {
 			t.Fatalf("round trip drifted:\nfirst  %+v\nsecond %+v", im, again)
+		}
+	})
+}
+
+// FuzzRecoverTorn: the recovery entry point must hold the torture
+// contract against arbitrary NVM checkpoint contents — truncated,
+// bit-flipped, or wholly attacker-authored regions either fail with a
+// typed detection error or decode to images that are stable under
+// re-encoding and replay without untyped failure. It must never panic and
+// never accept damage silently.
+func FuzzRecoverTorn(f *testing.F) {
+	one := &checkpoint.Image{
+		CoreID:    0,
+		LCPC:      0x4010,
+		Committed: 5,
+		CSQ: []pipeline.CSQEntry{
+			{Addr: 0x1000, Val: 7, Seq: 1, ValueBearing: true},
+			{Phys: rename.PhysRef{Class: isa.ClassInt, Idx: 3}, Addr: 0x1008, Seq: 2},
+		},
+		CRT:     []rename.TableSnapshot{{Class: isa.ClassInt, CRT: []uint16{3}}},
+		MaskInt: []bool{true, false, true},
+		MaskFP:  []bool{false},
+		Regs:    []checkpoint.RegValue{{Phys: rename.PhysRef{Class: isa.ClassInt, Idx: 3}, Val: 42}},
+	}
+	two := &checkpoint.Image{CoreID: 1, LCPC: 0x4004, Committed: 1}
+	multi := checkpoint.EncodeAll([]*checkpoint.Image{one, two})
+	f.Add(multi)
+	f.Add(one.Encode())
+	f.Add([]byte{})
+	f.Add(multi[:len(multi)-9])
+	for _, bit := range []int{5, 14 * 8, len(multi)*8 - 17} {
+		m := append([]byte(nil), multi...)
+		m[bit/8] ^= 1 << (bit % 8)
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		dev := nvm.NewDevice(nvm.DefaultConfig())
+		dev.WriteCheckpoint(b)
+		images, err := recovery.LoadImages(dev)
+		if err != nil {
+			if !recovery.IsDetection(err) {
+				t.Fatalf("untyped recovery error: %v", err)
+			}
+			return
+		}
+		// Accepted regions must behave: stable under re-encode and
+		// replayable (or refused with a typed error) per image.
+		again, err := checkpoint.DecodeAll(checkpoint.EncodeAll(images))
+		if err != nil {
+			t.Fatalf("re-decode of accepted region failed: %v", err)
+		}
+		if !reflect.DeepEqual(images, again) {
+			t.Fatal("accepted region drifted across a re-encode round trip")
+		}
+		for _, im := range images {
+			if _, rerr := recovery.ReplayN(dev, im, -1); rerr != nil && !recovery.IsDetection(rerr) {
+				t.Fatalf("untyped replay error: %v", rerr)
+			}
 		}
 	})
 }

@@ -649,13 +649,20 @@ func (h *Hierarchy) WBFull(core int) bool { return h.wbs[core].full() }
 // Tick advances the persist and eviction machinery one cycle:
 // the NVM device drains, one eviction-buffer entry may enter the WPQ, and
 // one write-buffer entry (round-robin across cores) may enter the WPQ.
-func (h *Hierarchy) Tick(cycle uint64) {
+// A typed device error (e.g. an unaligned word reaching the WPQ) aborts the
+// cycle and is returned for the machine to surface — it indicates state
+// corruption, not contention.
+func (h *Hierarchy) Tick(cycle uint64) error {
 	h.dev.Tick(cycle)
 
 	// Demand evictions first: they compete with persists for WPQ slots.
 	if len(h.evictq.lines) > 0 {
 		e := h.evictq.lines[0]
-		if h.dev.TryAccept(e.line, e.words) {
+		ok, err := h.dev.TryAccept(e.line, e.words)
+		if err != nil {
+			return fmt.Errorf("hierarchy: eviction of line %#x: %w", e.line, err)
+		}
+		if ok {
 			h.evictq.lines = h.evictq.lines[1:]
 			// The words are durable now; retire them from the volatile
 			// layer unless overwritten since the snapshot.
@@ -683,7 +690,11 @@ func (h *Hierarchy) Tick(cycle uint64) {
 		if e.ready > cycle {
 			continue
 		}
-		if h.dev.TryAccept(e.line, e.words) {
+		ok, err := h.dev.TryAccept(e.line, e.words)
+		if err != nil {
+			return fmt.Errorf("hierarchy: core %d persist of line %#x: %w", core, e.line, err)
+		}
+		if ok {
 			wb.pending -= e.stores
 			h.drainedLines.Inc()
 			h.ackedStores.Add(uint64(e.stores))
@@ -705,6 +716,7 @@ func (h *Hierarchy) Tick(cycle uint64) {
 		}
 	}
 	h.wbNext = (h.wbNext + 1) % n
+	return nil
 }
 
 // FlushAllDirty writes every volatile dirty word to the NVM image — the

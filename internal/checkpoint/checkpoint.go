@@ -9,7 +9,9 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"ppa/internal/isa"
 	"ppa/internal/pipeline"
@@ -77,157 +79,420 @@ func Capture(core *pipeline.Core) *Image {
 // magic identifies an encoded checkpoint blob.
 const magic = uint32(0x50504143) // "PPAC"
 
-// Encode serializes the image to the byte stream the controller writes.
-func (im *Image) Encode() []byte {
-	var b []byte
-	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
-	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+// FormatVersion is the checkpoint wire-format version. Version 2 added the
+// length-framed header and per-section CRC32 checksums so that recovery can
+// detect torn (truncated mid-dump) and corrupted (NVM fault) images instead
+// of trusting raw bytes.
+const FormatVersion = 2
 
-	u32(magic)
-	u32(uint32(im.CoreID))
-	u64(im.LCPC)
-	u64(uint64(im.Committed))
+// headerBytes is the fixed image header: magic, version, total image
+// length, and a CRC32 over those three fields.
+const headerBytes = 16
 
-	u32(uint32(len(im.CSQ)))
+// Typed decode errors. Decode wraps them with positional detail; match with
+// errors.Is.
+var (
+	// ErrBadMagic reports a blob that does not start with the checkpoint
+	// magic — the designated area holds something else (or nothing).
+	ErrBadMagic = errors.New("checkpoint: bad magic")
+	// ErrBadVersion reports an unsupported wire-format version.
+	ErrBadVersion = errors.New("checkpoint: unsupported format version")
+	// ErrTruncated reports a torn image: the blob ends before the length
+	// the header (or a section frame) promises — the capacitor ran out
+	// mid-dump, or the tail of the stream never reached the media.
+	ErrTruncated = errors.New("checkpoint: truncated image")
+	// ErrChecksum reports a section whose stored CRC32 does not match its
+	// payload — a bit flip or torn word inside the checkpoint region.
+	ErrChecksum = errors.New("checkpoint: checksum mismatch")
+	// ErrCorrupt reports a blob that frames correctly but carries
+	// structurally implausible fields.
+	ErrCorrupt = errors.New("checkpoint: corrupt image")
+)
+
+// section identifies one checksummed unit of the encoding. The five
+// architectural structures of Figure 7 map onto them: LCPC (with the core
+// id and commit count) into meta, and each remaining structure into its own
+// section, in controller dump order.
+type section int
+
+const (
+	secMeta section = iota
+	secCSQ
+	secCRT
+	secMask
+	secRegs
+	numSections
+)
+
+func (s section) String() string {
+	switch s {
+	case secMeta:
+		return "meta"
+	case secCSQ:
+		return "CSQ"
+	case secCRT:
+		return "CRT"
+	case secMask:
+		return "MaskReg"
+	case secRegs:
+		return "PRF"
+	default:
+		return "?"
+	}
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendSection frames one section payload as [len u32 | payload | crc u32],
+// with the CRC covering the length field and the payload.
+func appendSection(b, payload []byte) []byte {
+	start := len(b)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[start:], crcTable))
+}
+
+func encodeMaskInto(b []byte, mask []bool) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(mask)))
+	var cur byte
+	var nbits int
+	for _, m := range mask {
+		cur <<= 1
+		if m {
+			cur |= 1
+		}
+		nbits++
+		if nbits == 8 {
+			b = append(b, cur)
+			cur, nbits = 0, 0
+		}
+	}
+	if nbits > 0 {
+		b = append(b, cur<<(8-nbits))
+	}
+	return b
+}
+
+// encodeSections returns the five section payloads in dump order.
+func (im *Image) encodeSections() [numSections][]byte {
+	var out [numSections][]byte
+	u32 := func(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+	var meta []byte
+	meta = u32(meta, uint32(im.CoreID))
+	meta = u64(meta, im.LCPC)
+	meta = u64(meta, uint64(im.Committed))
+	out[secMeta] = meta
+
+	var csq []byte
+	csq = u32(csq, uint32(len(im.CSQ)))
 	for _, e := range im.CSQ {
 		flags := uint32(e.Phys.Class)
 		if e.ValueBearing {
 			flags |= 1 << 8
 		}
-		u32(flags)
-		u32(uint32(e.Phys.Idx))
-		u64(e.Addr)
-		u64(e.Val)
-		u64(uint64(e.Seq))
+		csq = u32(csq, flags)
+		csq = u32(csq, uint32(e.Phys.Idx))
+		csq = u64(csq, e.Addr)
+		csq = u64(csq, e.Val)
+		csq = u64(csq, uint64(e.Seq))
 	}
+	out[secCSQ] = csq
 
-	u32(uint32(len(im.CRT)))
+	var crt []byte
+	crt = u32(crt, uint32(len(im.CRT)))
 	for _, t := range im.CRT {
-		u32(uint32(t.Class))
-		u32(uint32(len(t.CRT)))
+		crt = u32(crt, uint32(t.Class))
+		crt = u32(crt, uint32(len(t.CRT)))
 		for _, idx := range t.CRT {
-			u32(uint32(idx))
+			crt = u32(crt, uint32(idx))
 		}
 	}
+	out[secCRT] = crt
 
-	encodeMask := func(mask []bool) {
-		u32(uint32(len(mask)))
-		var cur byte
-		var nbits int
-		for _, m := range mask {
-			cur <<= 1
-			if m {
-				cur |= 1
-			}
-			nbits++
-			if nbits == 8 {
-				b = append(b, cur)
-				cur, nbits = 0, 0
-			}
-		}
-		if nbits > 0 {
-			b = append(b, cur<<(8-nbits))
-		}
-	}
-	encodeMask(im.MaskInt)
-	encodeMask(im.MaskFP)
+	var mask []byte
+	mask = encodeMaskInto(mask, im.MaskInt)
+	mask = encodeMaskInto(mask, im.MaskFP)
+	out[secMask] = mask
 
-	u32(uint32(len(im.Regs)))
+	var regs []byte
+	regs = u32(regs, uint32(len(im.Regs)))
 	for _, r := range im.Regs {
-		u32(uint32(r.Phys.Class))
-		u32(uint32(r.Phys.Idx))
-		u64(r.Val)
+		regs = u32(regs, uint32(r.Phys.Class))
+		regs = u32(regs, uint32(r.Phys.Idx))
+		regs = u64(regs, r.Val)
+	}
+	out[secRegs] = regs
+	return out
+}
+
+// Encode serializes the image to the byte stream the controller writes:
+// a fixed header (magic, version, total length, header CRC) followed by the
+// five sections, each framed with its length and a CRC32C of length+payload.
+func (im *Image) Encode() []byte {
+	sections := im.encodeSections()
+	total := headerBytes
+	for _, p := range sections {
+		total += 8 + len(p)
+	}
+	b := make([]byte, 0, total)
+	b = binary.LittleEndian.AppendUint32(b, magic)
+	b = binary.LittleEndian.AppendUint32(b, FormatVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(total))
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[:12], crcTable))
+	for _, p := range sections {
+		b = appendSection(b, p)
 	}
 	return b
 }
 
-// Decode parses an encoded checkpoint blob.
+// SectionSizes returns the encoded byte size of the header followed by each
+// framed section (meta, CSQ, CRT, MaskReg, PRF), in stream order. The sum
+// equals len(Encode()). The capacitor-budget model uses this to report
+// which structures a torn dump fully covered.
+func (im *Image) SectionSizes() []int {
+	sections := im.encodeSections()
+	out := make([]int, 0, 1+numSections)
+	out = append(out, headerBytes)
+	for _, p := range sections {
+		out = append(out, 8+len(p))
+	}
+	return out
+}
+
+// SectionName names the i-th entry of SectionSizes (0 is the header).
+func SectionName(i int) string {
+	if i == 0 {
+		return "header"
+	}
+	return section(i - 1).String()
+}
+
+// EncodeAll concatenates the per-core images into the single blob the
+// checkpoint controller streams to the designated NVM area. The v2 header's
+// length field makes the concatenation self-framing for DecodeAll.
+func EncodeAll(images []*Image) []byte {
+	var b []byte
+	for _, im := range images {
+		b = append(b, im.Encode()...)
+	}
+	return b
+}
+
+// Decode parses one encoded checkpoint blob, validating the header, the
+// per-section checksums, and structural plausibility. Trailing bytes after
+// the image are an error; use DecodeAll for multi-image blobs.
 func Decode(b []byte) (*Image, error) {
-	r := &reader{b: b}
-	if m := r.u32(); m != magic {
-		return nil, fmt.Errorf("checkpoint: bad magic %#x", m)
-	}
-	im := &Image{}
-	im.CoreID = int(r.u32())
-	im.LCPC = r.u64()
-	im.Committed = int(r.u64())
-
-	nCSQ := int(r.u32())
-	if nCSQ < 0 || nCSQ > 1<<20 {
-		return nil, fmt.Errorf("checkpoint: implausible CSQ length %d", nCSQ)
-	}
-	im.CSQ = make([]pipeline.CSQEntry, 0, nCSQ)
-	for i := 0; i < nCSQ; i++ {
-		flags := r.u32()
-		idx := r.u32()
-		e := pipeline.CSQEntry{
-			Phys:         rename.PhysRef{Class: isa.RegClass(flags & 0xFF), Idx: uint16(idx)},
-			Addr:         r.u64(),
-			Val:          r.u64(),
-			Seq:          int(r.u64()),
-			ValueBearing: flags&(1<<8) != 0,
-		}
-		if e.ValueBearing {
-			e.Phys = rename.PhysRef{}
-		}
-		im.CSQ = append(im.CSQ, e)
-	}
-
-	nCRT := int(r.u32())
-	if nCRT < 0 || nCRT > 1<<8 {
-		return nil, fmt.Errorf("checkpoint: implausible CRT table count %d", nCRT)
-	}
-	for i := 0; i < nCRT; i++ {
-		t := rename.TableSnapshot{Class: isa.RegClass(r.u32())}
-		n := int(r.u32())
-		if n < 0 || n > 1<<16 {
-			return nil, fmt.Errorf("checkpoint: implausible CRT length %d", n)
-		}
-		t.CRT = make([]uint16, n)
-		for j := 0; j < n; j++ {
-			t.CRT[j] = uint16(r.u32())
-		}
-		im.CRT = append(im.CRT, t)
-	}
-
-	decodeMask := func() ([]bool, error) {
-		n := int(r.u32())
-		if n < 0 || n > 1<<20 {
-			return nil, fmt.Errorf("checkpoint: implausible mask length %d", n)
-		}
-		mask := make([]bool, n)
-		for i := 0; i < n; i += 8 {
-			byteVal := r.u8()
-			for j := 0; j < 8 && i+j < n; j++ {
-				mask[i+j] = byteVal&(1<<(7-j)) != 0
-			}
-		}
-		return mask, nil
-	}
-	var err error
-	if im.MaskInt, err = decodeMask(); err != nil {
+	im, n, err := decodeOne(b)
+	if err != nil {
 		return nil, err
 	}
-	if im.MaskFP, err = decodeMask(); err != nil {
-		return nil, err
-	}
-
-	nRegs := int(r.u32())
-	if nRegs < 0 || nRegs > 1<<20 {
-		return nil, fmt.Errorf("checkpoint: implausible register count %d", nRegs)
-	}
-	for i := 0; i < nRegs; i++ {
-		class := isa.RegClass(r.u32())
-		idx := uint16(r.u32())
-		im.Regs = append(im.Regs, RegValue{
-			Phys: rename.PhysRef{Class: class, Idx: idx},
-			Val:  r.u64(),
-		})
-	}
-	if r.err != nil {
-		return nil, r.err
+	if n != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after image", ErrCorrupt, len(b)-n)
 	}
 	return im, nil
+}
+
+// DecodeAll parses a concatenation of encoded images (the whole checkpoint
+// area), in stream order.
+func DecodeAll(b []byte) ([]*Image, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty checkpoint area", ErrTruncated)
+	}
+	var out []*Image
+	off := 0
+	for off < len(b) {
+		im, n, err := decodeOne(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("image %d at offset %d: %w", len(out), off, err)
+		}
+		out = append(out, im)
+		off += n
+	}
+	return out, nil
+}
+
+// decodeOne parses a single image from the front of b and returns its
+// encoded length.
+func decodeOne(b []byte) (*Image, int, error) {
+	if len(b) < headerBytes {
+		return nil, 0, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(b), headerBytes)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:4]); m != magic {
+		return nil, 0, fmt.Errorf("%w: %#x", ErrBadMagic, m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != FormatVersion {
+		return nil, 0, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, v, FormatVersion)
+	}
+	total := int(binary.LittleEndian.Uint32(b[8:12]))
+	if got, want := crc32.Checksum(b[:12], crcTable), binary.LittleEndian.Uint32(b[12:16]); got != want {
+		return nil, 0, fmt.Errorf("%w: header crc %#x, want %#x", ErrChecksum, got, want)
+	}
+	if total < headerBytes+int(numSections)*8 {
+		return nil, 0, fmt.Errorf("%w: implausible image length %d", ErrCorrupt, total)
+	}
+	if total > len(b) {
+		return nil, 0, fmt.Errorf("%w: %d of %d bytes present", ErrTruncated, len(b), total)
+	}
+
+	im := &Image{}
+	off := headerBytes
+	for s := section(0); s < numSections; s++ {
+		if total-off < 8 {
+			return nil, 0, fmt.Errorf("%w: %s section frame missing", ErrTruncated, s)
+		}
+		plen := int(binary.LittleEndian.Uint32(b[off : off+4]))
+		if plen < 0 || plen > total-off-8 {
+			return nil, 0, fmt.Errorf("%w: %s section of %d bytes exceeds image", ErrTruncated, s, plen)
+		}
+		payload := b[off+4 : off+4+plen]
+		stored := binary.LittleEndian.Uint32(b[off+4+plen : off+8+plen])
+		if got := crc32.Checksum(b[off:off+4+plen], crcTable); got != stored {
+			return nil, 0, fmt.Errorf("%w: %s section crc %#x, want %#x", ErrChecksum, s, got, stored)
+		}
+		if err := im.decodeSection(s, payload); err != nil {
+			return nil, 0, err
+		}
+		off += 8 + plen
+	}
+	if off != total {
+		return nil, 0, fmt.Errorf("%w: %d bytes after last section", ErrCorrupt, total-off)
+	}
+	if err := im.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return im, total, nil
+}
+
+// decodeSection parses one section payload into the image. The payload has
+// already passed its checksum, so any parse failure is structural (a forged
+// or software-built blob), reported as ErrCorrupt/ErrTruncated.
+func (im *Image) decodeSection(s section, payload []byte) error {
+	r := &reader{b: payload}
+	switch s {
+	case secMeta:
+		im.CoreID = int(r.u32())
+		im.LCPC = r.u64()
+		im.Committed = int(r.u64())
+
+	case secCSQ:
+		nCSQ := int(r.u32())
+		if nCSQ < 0 || nCSQ > 1<<20 {
+			return fmt.Errorf("%w: implausible CSQ length %d", ErrCorrupt, nCSQ)
+		}
+		im.CSQ = make([]pipeline.CSQEntry, 0, nCSQ)
+		for i := 0; i < nCSQ && r.err == nil; i++ {
+			flags := r.u32()
+			idx := r.u32()
+			e := pipeline.CSQEntry{
+				Phys:         rename.PhysRef{Class: isa.RegClass(flags & 0xFF), Idx: uint16(idx)},
+				Addr:         r.u64(),
+				Val:          r.u64(),
+				Seq:          int(r.u64()),
+				ValueBearing: flags&(1<<8) != 0,
+			}
+			if e.ValueBearing {
+				e.Phys = rename.PhysRef{}
+			}
+			im.CSQ = append(im.CSQ, e)
+		}
+
+	case secCRT:
+		nCRT := int(r.u32())
+		if nCRT < 0 || nCRT > 1<<8 {
+			return fmt.Errorf("%w: implausible CRT table count %d", ErrCorrupt, nCRT)
+		}
+		for i := 0; i < nCRT && r.err == nil; i++ {
+			t := rename.TableSnapshot{Class: isa.RegClass(r.u32())}
+			n := int(r.u32())
+			if n < 0 || n > 1<<16 {
+				return fmt.Errorf("%w: implausible CRT length %d", ErrCorrupt, n)
+			}
+			t.CRT = make([]uint16, n)
+			for j := 0; j < n; j++ {
+				t.CRT[j] = uint16(r.u32())
+			}
+			im.CRT = append(im.CRT, t)
+		}
+
+	case secMask:
+		decodeMask := func() ([]bool, error) {
+			n := int(r.u32())
+			if n < 0 || n > 1<<20 {
+				return nil, fmt.Errorf("%w: implausible mask length %d", ErrCorrupt, n)
+			}
+			mask := make([]bool, n)
+			for i := 0; i < n; i += 8 {
+				byteVal := r.u8()
+				for j := 0; j < 8 && i+j < n; j++ {
+					mask[i+j] = byteVal&(1<<(7-j)) != 0
+				}
+			}
+			return mask, nil
+		}
+		var err error
+		if im.MaskInt, err = decodeMask(); err != nil {
+			return err
+		}
+		if im.MaskFP, err = decodeMask(); err != nil {
+			return err
+		}
+
+	case secRegs:
+		nRegs := int(r.u32())
+		if nRegs < 0 || nRegs > 1<<20 {
+			return fmt.Errorf("%w: implausible register count %d", ErrCorrupt, nRegs)
+		}
+		for i := 0; i < nRegs && r.err == nil; i++ {
+			class := isa.RegClass(r.u32())
+			idx := uint16(r.u32())
+			im.Regs = append(im.Regs, RegValue{
+				Phys: rename.PhysRef{Class: class, Idx: idx},
+				Val:  r.u64(),
+			})
+		}
+	}
+	if r.err != nil {
+		return fmt.Errorf("%s section: %w", s, r.err)
+	}
+	if r.off != len(payload) {
+		return fmt.Errorf("%w: %d unread bytes in %s section", ErrCorrupt, len(payload)-r.off, s)
+	}
+	return nil
+}
+
+// Validate checks the structural invariants recovery relies on: word-aligned
+// CSQ addresses, plausible register classes, and a non-negative commit
+// count. Decode calls it on every parsed image; recovery also calls it on
+// images handed over in memory, so a fault-injected image fails with a typed
+// error instead of corrupting replay.
+func (im *Image) Validate() error {
+	if im.Committed < 0 {
+		return fmt.Errorf("%w: negative committed count %d", ErrCorrupt, im.Committed)
+	}
+	if im.CoreID < 0 {
+		return fmt.Errorf("%w: negative core id %d", ErrCorrupt, im.CoreID)
+	}
+	for i, e := range im.CSQ {
+		if isa.WordAlign(e.Addr) != e.Addr {
+			return fmt.Errorf("%w: CSQ entry %d has unaligned address %#x", ErrCorrupt, i, e.Addr)
+		}
+		if !e.ValueBearing && e.Phys.Class != isa.ClassInt && e.Phys.Class != isa.ClassFP {
+			return fmt.Errorf("%w: CSQ entry %d has register class %d", ErrCorrupt, i, e.Phys.Class)
+		}
+	}
+	for i, t := range im.CRT {
+		if t.Class != isa.ClassInt && t.Class != isa.ClassFP {
+			return fmt.Errorf("%w: CRT table %d has class %d", ErrCorrupt, i, t.Class)
+		}
+	}
+	for i, r := range im.Regs {
+		if r.Phys.Class != isa.ClassInt && r.Phys.Class != isa.ClassFP {
+			return fmt.Errorf("%w: register %d has class %d", ErrCorrupt, i, r.Phys.Class)
+		}
+	}
+	return nil
 }
 
 type reader struct {
@@ -238,7 +503,7 @@ type reader struct {
 
 func (r *reader) take(n int) []byte {
 	if r.err == nil && r.off+n > len(r.b) {
-		r.err = fmt.Errorf("checkpoint: truncated blob at offset %d", r.off)
+		r.err = fmt.Errorf("%w: payload ends at offset %d", ErrTruncated, r.off)
 	}
 	if r.err != nil {
 		return make([]byte, n)

@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"ppa/internal/obs"
+)
+
+func sampleRegion(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 37)
+	}
+	return b
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range append([]Kind{None}, Kinds...) {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("meteor-strike"); err == nil {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+}
+
+func TestMutateDeterministicAndChanging(t *testing.T) {
+	region := sampleRegion(100)
+	for _, k := range []Kind{BitFlip, TornWord, DropTail} {
+		for param := uint64(0); param < 2000; param += 13 {
+			f := Fault{Kind: k, Param: param, Seed: int64(param) * 7}
+			a := f.Mutate(region)
+			b := f.Mutate(region)
+			if a == nil {
+				t.Fatalf("%v: Mutate returned nil on non-empty region", f)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%v: Mutate not deterministic", f)
+			}
+			if bytes.Equal(a, region) {
+				t.Fatalf("%v: Mutate left the region unchanged", f)
+			}
+			if !bytes.Equal(region, sampleRegion(100)) {
+				t.Fatalf("%v: Mutate modified its input", f)
+			}
+		}
+	}
+}
+
+func TestMutateShapes(t *testing.T) {
+	region := sampleRegion(64)
+
+	f := Fault{Kind: BitFlip, Param: 12345}
+	out := f.Mutate(region)
+	diff := 0
+	for i := range out {
+		for bit := 0; bit < 8; bit++ {
+			if (out[i]^region[i])>>bit&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("BitFlip changed %d bits, want 1", diff)
+	}
+
+	f = Fault{Kind: DropTail, Param: 9}
+	out = f.Mutate(region)
+	if len(out) != 64-10 {
+		t.Fatalf("DropTail(9) left %d bytes, want %d", len(out), 64-10)
+	}
+	if !bytes.Equal(out, region[:len(out)]) {
+		t.Fatal("DropTail changed surviving bytes")
+	}
+
+	f = Fault{Kind: TornWord, Param: 3, Seed: 42}
+	out = f.Mutate(region)
+	if len(out) != len(region) {
+		t.Fatalf("TornWord changed length %d -> %d", len(region), len(out))
+	}
+	for i := range out {
+		if out[i] != region[i] && (i < 24 || i >= 32) {
+			t.Fatalf("TornWord(word=3) changed byte %d outside its word", i)
+		}
+	}
+}
+
+func TestMutateNonByteLevel(t *testing.T) {
+	region := sampleRegion(32)
+	for _, k := range []Kind{None, TornCheckpoint, NestedOutage} {
+		if out := (Fault{Kind: k, Param: 5}).Mutate(region); out != nil {
+			t.Fatalf("%v: Mutate = %v, want nil", k, out)
+		}
+	}
+	if out := (Fault{Kind: BitFlip}).Mutate(nil); out != nil {
+		t.Fatal("Mutate on empty region should be nil")
+	}
+}
+
+func TestCorruptingClassification(t *testing.T) {
+	want := map[Kind]bool{
+		None:           false,
+		NestedOutage:   false,
+		TornCheckpoint: true,
+		BitFlip:        true,
+		TornWord:       true,
+		DropTail:       true,
+	}
+	for k, w := range want {
+		if got := (Fault{Kind: k}).Corrupting(); got != w {
+			t.Fatalf("%v: Corrupting = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestInjectorCountsAndTraces(t *testing.T) {
+	hub := obs.NewHub(64)
+	in := NewInjector(hub)
+	f := Fault{Kind: BitFlip, Param: 7}
+	in.Injected(f, 100)
+	in.Injected(f, 200)
+	in.Detected(f, 250)
+	if got := hub.Metrics.Counter("fault.injected").Value(); got != 2 {
+		t.Fatalf("fault.injected = %d, want 2", got)
+	}
+	if got := hub.Metrics.Counter("fault.detected").Value(); got != 1 {
+		t.Fatalf("fault.detected = %d, want 1", got)
+	}
+	evs := hub.Trace.Events()
+	if len(evs) != 3 {
+		t.Fatalf("traced %d events, want 3", len(evs))
+	}
+	if evs[2].Name != "fault-detect" || evs[2].Cat != "fault" {
+		t.Fatalf("last event = %q/%q", evs[2].Name, evs[2].Cat)
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	in.Injected(Fault{Kind: BitFlip}, 1)
+	in.Detected(Fault{Kind: BitFlip}, 2)
+	NewInjector(nil).Injected(Fault{Kind: DropTail}, 3)
+}

@@ -15,6 +15,7 @@ import (
 	"ppa/internal/obs"
 	"ppa/internal/persist"
 	"ppa/internal/pipeline"
+	"ppa/internal/power"
 	"ppa/internal/stats"
 	"ppa/internal/workload"
 )
@@ -159,9 +160,12 @@ func (s *System) Done() bool {
 	return true
 }
 
-// step advances the machine one cycle.
-func (s *System) step() {
-	s.hier.Tick(s.cycle)
+// step advances the machine one cycle. A typed memory-system error (state
+// corruption, e.g. an unaligned word reaching the WPQ) aborts the cycle.
+func (s *System) step() error {
+	if err := s.hier.Tick(s.cycle); err != nil {
+		return err
+	}
 	for _, r := range s.redos {
 		r.Tick(s.cycle)
 	}
@@ -169,6 +173,7 @@ func (s *System) step() {
 		c.Step(s.cycle)
 	}
 	s.cycle++
+	return nil
 }
 
 // Run executes until completion or maxCycles, returning an error on
@@ -179,18 +184,22 @@ func (s *System) Run(maxCycles uint64) error {
 			return fmt.Errorf("multicore: exceeded %d cycles with %d/%d insts committed",
 				maxCycles, s.committedInsts(), s.totalInsts())
 		}
-		s.step()
+		if err := s.step(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // RunUntil executes until the given cycle or completion, whichever first,
 // and reports whether the workload completed.
-func (s *System) RunUntil(cycle uint64) bool {
+func (s *System) RunUntil(cycle uint64) (bool, error) {
 	for !s.Done() && s.cycle < cycle {
-		s.step()
+		if err := s.step(); err != nil {
+			return false, err
+		}
 	}
-	return s.Done()
+	return s.Done(), nil
 }
 
 func (s *System) committedInsts() int {
@@ -203,15 +212,49 @@ func (s *System) committedInsts() int {
 
 func (s *System) totalInsts() int { return s.w.TotalInsts() }
 
-// Crash models a power failure at the current cycle: each core's recovery
-// state is JIT-checkpointed (PPA only persists its five structures; other
-// schemes get an empty image), then all volatile state is lost. The
-// encoded checkpoint blobs are written to the NVM checkpoint area.
-// For the eADR/BBB scheme the defining behaviour happens first: the
-// battery flushes every dirty byte from the volatile hierarchy to NVM —
-// the energy-hungry alternative PPA's 2 KB checkpoint replaces. The
-// flushed byte count is retrievable via LastCrashFlushBytes.
+// CrashOptions controls fault injection at power-failure time.
+type CrashOptions struct {
+	// CheckpointEnergyUJ, when > 0, is the capacitor's residual energy at
+	// Power_Fail: the JIT dump costs checkpoint.EnergyPerByteNJ per byte
+	// and is cut at the byte where the reservoir runs dry, leaving a torn
+	// image in the NVM checkpoint area. <= 0 models a correctly sized
+	// reservoir (the dump always completes).
+	CheckpointEnergyUJ float64
+}
+
+// CrashReport describes what one power failure managed to persist.
+type CrashReport struct {
+	// Images are the in-memory captures, one per core, pre-truncation.
+	Images []*checkpoint.Image
+	// CheckpointBytes is how many encoded bytes reached the NVM area.
+	CheckpointBytes int
+	// FullBytes is the encoded dump size absent any brownout.
+	FullBytes int
+	// Torn reports that the capacitor ran dry mid-dump.
+	Torn bool
+	// StructuresCovered counts the leading dump units (header + five
+	// structures) of the image the cut landed in that are fully durable;
+	// -1 when the dump completed.
+	StructuresCovered int
+}
+
+// Crash models a clean power failure at the current cycle: each core's
+// recovery state is JIT-checkpointed (PPA only persists its five
+// structures; other schemes get an empty image), then all volatile state is
+// lost. The encoded checkpoint blobs are written to the NVM checkpoint
+// area.
 func (s *System) Crash() []*checkpoint.Image {
+	return s.CrashWithOptions(CrashOptions{}).Images
+}
+
+// CrashWithOptions is Crash with fault injection: an undersized capacitor
+// budget truncates the dump at the brownout byte, modeling
+// failure-during-checkpoint. For the eADR/BBB scheme the defining
+// behaviour happens first: the battery flushes every dirty byte from the
+// volatile hierarchy to NVM — the energy-hungry alternative PPA's 2 KB
+// checkpoint replaces. The flushed byte count is retrievable via
+// LastCrashFlushBytes.
+func (s *System) CrashWithOptions(opt CrashOptions) *CrashReport {
 	tr := s.cfg.Obs.Tracer()
 	tr.Emit(obs.Event{
 		Cycle: s.cycle,
@@ -234,6 +277,7 @@ func (s *System) Crash() []*checkpoint.Image {
 		})
 	}
 	images := make([]*checkpoint.Image, len(s.cores))
+	sizes := make([]int, len(s.cores))
 	var blob []byte
 	for i, c := range s.cores {
 		im := checkpoint.Capture(c)
@@ -241,6 +285,7 @@ func (s *System) Crash() []*checkpoint.Image {
 		images[i] = im
 		prev := len(blob)
 		blob = append(blob, im.Encode()...)
+		sizes[i] = len(blob) - prev
 		tr.Emit(obs.Event{
 			Cycle: s.cycle,
 			Type:  obs.EvInstant,
@@ -248,17 +293,49 @@ func (s *System) Crash() []*checkpoint.Image {
 			Name:  "checkpoint-capture",
 			Cat:   "checkpoint",
 			Args: [obs.MaxEventArgs]obs.Arg{
-				{Key: "bytes", Val: int64(len(blob) - prev)},
+				{Key: "bytes", Val: int64(sizes[i])},
 				{Key: "csq", Val: int64(len(im.CSQ))},
 			},
 		})
 	}
+	rep := &CrashReport{Images: images, FullBytes: len(blob), StructuresCovered: -1}
+	if opt.CheckpointEnergyUJ > 0 {
+		budget := power.CheckpointBudget{
+			CapacityUJ:      opt.CheckpointEnergyUJ,
+			EnergyPerByteNJ: checkpoint.EnergyPerByteNJ,
+		}.ByteBudget()
+		if budget < len(blob) {
+			rep.Torn = true
+			cut := budget
+			for i, sz := range sizes {
+				if cut < sz {
+					rep.StructuresCovered = power.StructuresCovered(cut, images[i].SectionSizes())
+					break
+				}
+				cut -= sz
+			}
+			blob = blob[:budget]
+			tr.Emit(obs.Event{
+				Cycle: s.cycle,
+				Type:  obs.EvInstant,
+				Core:  obs.SystemTrack,
+				Name:  "checkpoint-torn",
+				Cat:   "checkpoint",
+				Args: [obs.MaxEventArgs]obs.Arg{
+					{Key: "full", Val: int64(rep.FullBytes)},
+					{Key: "structs", Val: int64(rep.StructuresCovered)},
+					{Key: "written", Val: int64(budget)},
+				},
+			})
+		}
+	}
+	rep.CheckpointBytes = len(blob)
 	s.dev.WriteCheckpoint(blob)
 	for _, r := range s.redos {
 		r.PowerFail()
 	}
 	s.hier.PowerFail()
-	return images
+	return rep
 }
 
 // LastCrashFlushBytes returns how many bytes the last Crash had to flush on

@@ -89,7 +89,7 @@ func TestRunUntilPartial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if done := sys.RunUntil(500); done {
+	if done, _ := sys.RunUntil(500); done {
 		t.Fatal("cannot finish 10000 insts in 500 cycles")
 	}
 	if sys.Cycle() != 500 {

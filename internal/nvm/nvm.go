@@ -222,12 +222,33 @@ func (d *Device) WPQLen() int {
 	return n
 }
 
+// AlignmentError reports a write offered at a non-word-aligned address.
+// Word writes below the line granularity must be 8-byte aligned; an address
+// that is not (e.g. one reconstructed from a corrupted checkpoint) is a
+// protocol violation the device rejects rather than silently rounding —
+// and, since fault injection can synthesize such addresses, it must be an
+// error the caller can handle, never a crash.
+type AlignmentError struct {
+	Addr uint64
+}
+
+func (e *AlignmentError) Error() string {
+	return fmt.Sprintf("nvm: unaligned word address %#x", e.Addr)
+}
+
 // TryAccept offers one line write (with its dirty word values) to the
 // line's channel. On success the data is durable immediately (ADR domain):
 // the image is updated and true is returned. A write whose line is already
 // resident in the WPQ or the media write-combining buffer coalesces
 // without consuming a new entry; otherwise it needs a free WPQ slot.
-func (d *Device) TryAccept(line uint64, words map[uint64]uint64) bool {
+// A non-word-aligned address returns a typed *AlignmentError with no state
+// changed.
+func (d *Device) TryAccept(line uint64, words map[uint64]uint64) (bool, error) {
+	for a := range words {
+		if isa.WordAlign(a) != a {
+			return false, &AlignmentError{Addr: a}
+		}
+	}
 	ch := d.chanOf(line)
 	if d.cfg.CoalesceWPQ {
 		if ch.wcb != nil {
@@ -236,7 +257,7 @@ func (d *Device) TryAccept(line uint64, words map[uint64]uint64) bool {
 				ch.wcb[line] = ch.wcbStamp
 				d.applyWords(words)
 				d.Coalesced++
-				return true
+				return true, nil
 			}
 		}
 		for i := range ch.wpq {
@@ -246,7 +267,7 @@ func (d *Device) TryAccept(line uint64, words map[uint64]uint64) bool {
 					d.image.WriteWord(a, v)
 				}
 				d.Coalesced++
-				return true
+				return true, nil
 			}
 		}
 	}
@@ -263,13 +284,10 @@ func (d *Device) TryAccept(line uint64, words map[uint64]uint64) bool {
 				Args:  [obs.MaxEventArgs]obs.Arg{{Key: "occupancy", Val: int64(len(ch.wpq))}},
 			})
 		}
-		return false
+		return false, nil
 	}
 	cp := make(map[uint64]uint64, len(words))
 	for a, v := range words {
-		if isa.WordAlign(a) != a {
-			panic(fmt.Sprintf("nvm: unaligned word %#x", a))
-		}
 		cp[a] = v
 		d.image.WriteWord(a, v)
 	}
@@ -277,7 +295,7 @@ func (d *Device) TryAccept(line uint64, words map[uint64]uint64) bool {
 	d.LineWrites++
 	d.BytesWritten += isa.LineSize
 	d.WPQOccupancyX += uint64(len(ch.wpq))
-	return true
+	return true, nil
 }
 
 func (d *Device) applyWords(words map[uint64]uint64) {
@@ -394,6 +412,33 @@ func (d *Device) ReadCheckpoint() []byte {
 
 // ClearCheckpoint erases the checkpoint area (after successful recovery).
 func (d *Device) ClearCheckpoint() { d.checkpoint = nil }
+
+// CheckpointLen returns the stored checkpoint blob's size in bytes.
+func (d *Device) CheckpointLen() int { return len(d.checkpoint) }
+
+// MutateCheckpoint applies fn to the checkpoint region in place — the
+// fault-injection hook for modeling NVM-level corruption (torn 8-byte
+// words, bit flips, dropped WPQ tails). fn receives the current region
+// contents and returns the corrupted replacement; a nil return or an
+// unchanged slice models a fault that missed. It reports whether the
+// region's bytes actually changed.
+func (d *Device) MutateCheckpoint(fn func([]byte) []byte) bool {
+	before := d.ReadCheckpoint()
+	out := fn(d.ReadCheckpoint())
+	if out == nil {
+		return false
+	}
+	d.checkpoint = append(d.checkpoint[:0], out...)
+	if len(before) != len(d.checkpoint) {
+		return true
+	}
+	for i := range before {
+		if before[i] != d.checkpoint[i] {
+			return true
+		}
+	}
+	return false
+}
 
 // PowerFail models the device across a power failure: the WPQs are inside
 // the persistence domain, so accepted-but-undrained entries are NOT lost;

@@ -1,6 +1,8 @@
 package nvm
 
 import (
+	"errors"
+
 	"testing"
 
 	"ppa/internal/isa"
@@ -14,9 +16,19 @@ func words(pairs ...uint64) map[uint64]uint64 {
 	return m
 }
 
+// try offers a write whose addresses are known to be aligned, so an
+// alignment error here is a test bug.
+func try(d *Device, line uint64, w map[uint64]uint64) bool {
+	ok, err := d.TryAccept(line, w)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
 func TestAcceptIsDurableImmediately(t *testing.T) {
 	d := NewDevice(DefaultConfig())
-	if !d.TryAccept(0x1000, words(0x1000, 42)) {
+	if !try(d, 0x1000, words(0x1000, 42)) {
 		t.Fatal("accept failed")
 	}
 	// ADR domain: durable at accept, before any drain.
@@ -35,10 +47,10 @@ func TestWPQCapacityAndRejection(t *testing.T) {
 	cfg.Channels = 1
 	cfg.WPQEntries = 2
 	d := NewDevice(cfg)
-	if !d.TryAccept(0x0, words(0x0, 1)) || !d.TryAccept(0x40, words(0x40, 2)) {
+	if !try(d, 0x0, words(0x0, 1)) || !try(d, 0x40, words(0x40, 2)) {
 		t.Fatal("first two accepts must succeed")
 	}
-	if d.TryAccept(0x80, words(0x80, 3)) {
+	if try(d, 0x80, words(0x80, 3)) {
 		t.Fatal("third accept must be rejected (WPQ full)")
 	}
 	if d.RejectedFull != 1 {
@@ -54,11 +66,11 @@ func TestWPQCoalescing(t *testing.T) {
 	cfg.Channels = 1
 	cfg.WPQEntries = 1
 	d := NewDevice(cfg)
-	if !d.TryAccept(0x1000, words(0x1000, 1)) {
+	if !try(d, 0x1000, words(0x1000, 1)) {
 		t.Fatal("accept failed")
 	}
 	// Same line coalesces even though the WPQ is full.
-	if !d.TryAccept(0x1000, words(0x1008, 2)) {
+	if !try(d, 0x1000, words(0x1008, 2)) {
 		t.Fatal("same-line write must coalesce")
 	}
 	if d.Coalesced != 1 {
@@ -68,7 +80,7 @@ func TestWPQCoalescing(t *testing.T) {
 		t.Fatal("coalesced word not durable")
 	}
 	// A different line is rejected.
-	if d.TryAccept(0x2000, words(0x2000, 3)) {
+	if try(d, 0x2000, words(0x2000, 3)) {
 		t.Fatal("different line must be rejected")
 	}
 }
@@ -79,8 +91,8 @@ func TestCoalescingDisabled(t *testing.T) {
 	cfg.WPQEntries = 1
 	cfg.CoalesceWPQ = false
 	d := NewDevice(cfg)
-	d.TryAccept(0x1000, words(0x1000, 1))
-	if d.TryAccept(0x1000, words(0x1008, 2)) {
+	try(d, 0x1000, words(0x1000, 1))
+	if try(d, 0x1000, words(0x1008, 2)) {
 		t.Fatal("coalescing disabled: same line must still need a slot")
 	}
 }
@@ -91,13 +103,13 @@ func TestDrainFreesSlots(t *testing.T) {
 	cfg.WPQEntries = 1
 	cfg.WCBEntries = 4
 	d := NewDevice(cfg)
-	d.TryAccept(0x0, words(0x0, 1))
-	if d.TryAccept(0x40, words(0x40, 2)) {
+	try(d, 0x0, words(0x0, 1))
+	if try(d, 0x40, words(0x40, 2)) {
 		t.Fatal("should be full")
 	}
 	// One tick moves the entry into the write-combining buffer.
 	d.Tick(0)
-	if !d.TryAccept(0x40, words(0x40, 2)) {
+	if !try(d, 0x40, words(0x40, 2)) {
 		t.Fatal("slot must free after WPQ->WCB transfer")
 	}
 }
@@ -109,13 +121,13 @@ func TestWCBCoalescingKeepsHotLineResident(t *testing.T) {
 	cfg.WCBEntries = 4
 	cfg.WriteDrainCycles = 10
 	d := NewDevice(cfg)
-	d.TryAccept(0x0, words(0x0, 1))
+	try(d, 0x0, words(0x0, 1))
 	d.Tick(0) // into WCB; drain starts
 	lw := d.LineWrites
 	// Repeated writes to the WCB-resident line coalesce without new
 	// entries.
 	for i := 0; i < 5; i++ {
-		if !d.TryAccept(0x0, words(0x0, uint64(i))) {
+		if !try(d, 0x0, words(0x0, uint64(i))) {
 			t.Fatal("WCB-resident line must coalesce")
 		}
 	}
@@ -132,7 +144,7 @@ func TestDrainedAndTickProgress(t *testing.T) {
 	cfg.Channels = 1
 	cfg.WriteDrainCycles = 10
 	d := NewDevice(cfg)
-	d.TryAccept(0x0, words(0x0, 1))
+	try(d, 0x0, words(0x0, 1))
 	if d.Drained(0) {
 		t.Fatal("not drained with a queued entry")
 	}
@@ -152,11 +164,11 @@ func TestChannelsInterleaveByLine(t *testing.T) {
 	d := NewDevice(cfg)
 	// Lines 0 and 64 land on different channels: both accepts succeed
 	// even with one WPQ slot each.
-	if !d.TryAccept(0x0, words(0x0, 1)) || !d.TryAccept(0x40, words(0x40, 2)) {
+	if !try(d, 0x0, words(0x0, 1)) || !try(d, 0x40, words(0x40, 2)) {
 		t.Fatal("adjacent lines must use different channels")
 	}
 	// Lines 0 and 128 share channel 0: second is rejected.
-	if d.TryAccept(0x80, words(0x80, 3)) {
+	if try(d, 0x80, words(0x80, 3)) {
 		t.Fatal("same-channel line must be rejected")
 	}
 }
@@ -180,8 +192,8 @@ func TestReadWaitsForInProgressDrain(t *testing.T) {
 	cfg.WriteDrainCycles = 50
 	cfg.WCBEntries = 2 // watermark 1: a second line triggers a drain
 	d := NewDevice(cfg)
-	d.TryAccept(0x0, words(0x0, 1))
-	d.TryAccept(0x40, words(0x40, 2))
+	try(d, 0x0, words(0x0, 1))
+	try(d, 0x40, words(0x40, 2))
 	d.Tick(0) // line 0 -> WCB
 	d.Tick(1) // line 1 -> WCB; above watermark: drain starts, busy to 51
 	done := d.ReadAccess(0x0, 10)
@@ -227,14 +239,51 @@ func TestCheckpointArea(t *testing.T) {
 	}
 }
 
-func TestUnalignedWordPanics(t *testing.T) {
+func TestUnalignedWordTypedError(t *testing.T) {
 	d := NewDevice(DefaultConfig())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unaligned word must panic")
-		}
-	}()
-	d.TryAccept(0x0, map[uint64]uint64{0x3: 1})
+	ok, err := d.TryAccept(0x0, map[uint64]uint64{0x3: 1})
+	if ok || err == nil {
+		t.Fatal("unaligned word must be rejected with an error")
+	}
+	var ae *AlignmentError
+	if !errors.As(err, &ae) || ae.Addr != 0x3 {
+		t.Fatalf("want *AlignmentError{Addr: 0x3}, got %v", err)
+	}
+	// The failed accept must leave no partial state behind.
+	if d.ReadWord(0x0) != 0 || d.WPQLen() != 0 || d.LineWrites != 0 {
+		t.Fatal("rejected write mutated device state")
+	}
+}
+
+func TestMutateCheckpoint(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	// Mutating an empty region reports no change.
+	if d.MutateCheckpoint(func(b []byte) []byte { return b }) {
+		t.Fatal("empty region cannot change")
+	}
+	d.WriteCheckpoint([]byte{1, 2, 3, 4})
+	if d.CheckpointLen() != 4 {
+		t.Fatalf("CheckpointLen = %d", d.CheckpointLen())
+	}
+	// An identity mutation reports no change.
+	if d.MutateCheckpoint(func(b []byte) []byte { return b }) {
+		t.Fatal("identity mutation must report no change")
+	}
+	// A bit flip reports a change and sticks.
+	changed := d.MutateCheckpoint(func(b []byte) []byte {
+		b[1] ^= 0x80
+		return b
+	})
+	if !changed || d.ReadCheckpoint()[1] != 2^0x80 {
+		t.Fatal("bit flip not applied")
+	}
+	// A truncation reports a change.
+	if !d.MutateCheckpoint(func(b []byte) []byte { return b[:2] }) {
+		t.Fatal("truncation must report a change")
+	}
+	if d.CheckpointLen() != 2 {
+		t.Fatalf("CheckpointLen after truncation = %d", d.CheckpointLen())
+	}
 }
 
 func TestStatsAccounting(t *testing.T) {
@@ -242,7 +291,7 @@ func TestStatsAccounting(t *testing.T) {
 	cfg.Channels = 1
 	d := NewDevice(cfg)
 	for i := uint64(0); i < 4; i++ {
-		d.TryAccept(i*isa.LineSize, words(i*isa.LineSize, i))
+		try(d, i*isa.LineSize, words(i*isa.LineSize, i))
 	}
 	if d.LineWrites != 4 {
 		t.Fatalf("line writes %d", d.LineWrites)
@@ -316,9 +365,9 @@ func TestWearLevelingSpreadsHotLine(t *testing.T) {
 		// Hammer one line plus a rotating cold line so the WCB keeps
 		// draining the hot line to media.
 		for i := 0; i < 4000; i++ {
-			d.TryAccept(0x0, map[uint64]uint64{0x0: uint64(i)})
+			try(d, 0x0, map[uint64]uint64{0x0: uint64(i)})
 			coldLine := uint64(1+(i%32)) * 128
-			d.TryAccept(coldLine, map[uint64]uint64{coldLine: 1})
+			try(d, coldLine, map[uint64]uint64{coldLine: 1})
 			for j := 0; j < 6; j++ {
 				d.Tick(cycle)
 				cycle++

@@ -30,24 +30,7 @@ type Outcome struct {
 // value is read from the restored physical register file (or from the entry
 // itself for value-bearing entries) and written to the destination address.
 func Replay(dev *nvm.Device, im *checkpoint.Image) (*Outcome, error) {
-	regs := im.RegLookup()
-	out := &Outcome{CoreID: im.CoreID}
-	for _, e := range im.CSQ {
-		var val uint64
-		if e.ValueBearing {
-			val = e.Val
-		} else {
-			v, ok := regs[e.Phys]
-			if !ok {
-				return nil, fmt.Errorf("recovery: core %d csq seq %d references unchecked register %v",
-					im.CoreID, e.Seq, e.Phys)
-			}
-			val = v
-		}
-		dev.Image().WriteWord(e.Addr, val)
-		out.ReplayedWords++
-	}
-	return out, nil
+	return ReplayN(dev, im, -1)
 }
 
 // RestoreRenamer loads the checkpointed CRT, MaskReg, and register values
@@ -91,10 +74,15 @@ func ResumeIndex(prog *isa.Program, lcpc uint64) (int, error) {
 	return idx, nil
 }
 
-// Recover performs the full single-core protocol: replay the CSQ and
-// compute the resume point. The caller restores the renamer separately if
-// it intends to resume execution.
+// Recover performs the full single-core protocol: validate the image,
+// replay the CSQ, and compute the resume point. The caller restores the
+// renamer separately if it intends to resume execution. Images decoded by
+// LoadImages are already validated; re-validating here protects callers
+// holding in-memory captures or hand-built images.
 func Recover(dev *nvm.Device, im *checkpoint.Image, prog *isa.Program) (*Outcome, error) {
+	if err := im.Validate(); err != nil {
+		return nil, classify(err)
+	}
 	out, err := Replay(dev, im)
 	if err != nil {
 		return nil, err

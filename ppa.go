@@ -275,16 +275,27 @@ func RunWithFailure(rc RunConfig, failCycle uint64) (*FailureOutcome, error) {
 		return nil, err
 	}
 	out := &FailureOutcome{FailCycle: failCycle}
-	if sys.RunUntil(failCycle) {
+	done, err := sys.RunUntil(failCycle)
+	if err != nil {
+		return nil, err
+	}
+	if done {
 		out.CompletedBeforeFailure = true
 		out.Consistent = true
 		return out, nil
 	}
 
-	// Power failure: checkpoint and lose all volatile state.
-	images := sys.Crash()
+	// Power failure: checkpoint and lose all volatile state. Recovery reads
+	// the images back from the NVM checkpoint area — the only state that
+	// actually survives an outage — validating framing and checksums on the
+	// way in.
+	sys.Crash()
 	out.FlushedBytes = sys.LastCrashFlushBytes()
 	dev := sys.Device()
+	images, err := recovery.LoadImages(dev)
+	if err != nil {
+		return nil, err
+	}
 	for _, im := range images {
 		out.CheckpointBytes += len(im.Encode())
 	}
@@ -332,9 +343,11 @@ func RunWithFailure(rc RunConfig, failCycle uint64) (*FailureOutcome, error) {
 		}
 	}
 
-	// Resume each interrupted program right after its LCPC and run to
-	// completion on a fresh machine state (the caches are cold, as after a
-	// real outage).
+	// Recovery is complete: invalidate the checkpoint area so a later
+	// outage cannot be confused with this one, then resume each interrupted
+	// program right after its LCPC on a fresh machine state (the caches are
+	// cold, as after a real outage).
+	dev.ClearCheckpoint()
 	resumed, err := resumeAfterFailure(prof, sch, insts, sys, committed)
 	if err != nil {
 		return nil, err

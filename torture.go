@@ -1,0 +1,396 @@
+package ppa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ppa/internal/checkpoint"
+	"ppa/internal/fault"
+	"ppa/internal/multicore"
+	"ppa/internal/recovery"
+)
+
+// This file implements the crash-consistency torture harness: an
+// adversarial sweep over (failure cycle × fault kind × fault parameter)
+// that crashes the machine, damages what the crash left behind, and then
+// demands that recovery either converge to a consistent committed prefix
+// or refuse the damaged checkpoint with a typed error. Anything else —
+// silent use of a corrupt image, a spurious refusal of an intact one, a
+// committed-prefix word lost — is a violation, shrunk to a minimal
+// reproducer for the bug report.
+
+// Fault re-exports the fault model for torture points.
+type Fault = fault.Fault
+
+// FaultKind re-exports the fault kind enumeration.
+type FaultKind = fault.Kind
+
+// Re-exported fault kinds (see internal/fault for semantics).
+const (
+	FaultNone           = fault.None
+	FaultTornCheckpoint = fault.TornCheckpoint
+	FaultNestedOutage   = fault.NestedOutage
+	FaultBitFlip        = fault.BitFlip
+	FaultTornWord       = fault.TornWord
+	FaultDropTail       = fault.DropTail
+)
+
+// TorturePoint is one injection experiment: run the workload to Cycle, cut
+// power there, apply the fault, and recover.
+type TorturePoint struct {
+	// Cycle is the power-failure cycle.
+	Cycle uint64 `json:"cycle"`
+	// Fault is what goes wrong at (or after) the failure.
+	Fault Fault `json:"fault"`
+	// Depth is how many additional outages strike during recovery itself
+	// (NestedOutage only; each re-enters recovery from the top).
+	Depth int `json:"depth,omitempty"`
+}
+
+// String renders the point compactly for logs.
+func (p TorturePoint) String() string {
+	if p.Depth > 0 {
+		return fmt.Sprintf("cycle=%d %v depth=%d", p.Cycle, p.Fault, p.Depth)
+	}
+	return fmt.Sprintf("cycle=%d %v", p.Cycle, p.Fault)
+}
+
+// TortureOutcome is the verdict of one torture point.
+type TortureOutcome struct {
+	Point TorturePoint `json:"point"`
+	// CompletedBeforeFailure reports the workload finished before Cycle, so
+	// no failure struck (the point degenerates to a plain run).
+	CompletedBeforeFailure bool `json:"completed_before_failure,omitempty"`
+	// Injected reports the fault actually took effect (a torn-checkpoint
+	// budget genuinely tore the dump; a byte-level fault changed bytes).
+	Injected bool `json:"injected"`
+	// Detected reports recovery refused the checkpoint with a typed error.
+	Detected bool `json:"detected"`
+	// DetectedAs carries the typed error's text when Detected.
+	DetectedAs string `json:"detected_as,omitempty"`
+	// Recovered reports recovery completed (possibly after nested outages).
+	Recovered bool `json:"recovered"`
+	// RecoveryAttempts counts entries into the recovery protocol (1 for an
+	// undisturbed recovery; +1 per nested outage).
+	RecoveryAttempts int `json:"recovery_attempts"`
+	// Inconsistencies counts committed-prefix words with wrong NVM values
+	// after a successful recovery.
+	Inconsistencies int `json:"inconsistencies"`
+	// Violation is empty for a pass, else the contract breach.
+	Violation string `json:"violation,omitempty"`
+}
+
+// TortureReport aggregates a sweep.
+type TortureReport struct {
+	Points                 int            `json:"points"`
+	CompletedBeforeFailure int            `json:"completed_before_failure"`
+	Injected               int            `json:"injected"`
+	Detected               int            `json:"detected"`
+	Recovered              int            `json:"recovered"`
+	ByKind                 map[string]int `json:"by_kind"`
+	// Violations holds every failing outcome, in sweep order.
+	Violations []*TortureOutcome `json:"violations,omitempty"`
+}
+
+// TorturePoints deterministically generates n torture points from a seed,
+// with failure cycles uniform in [minCycle, maxCycle) and the fault kinds
+// cycled so every class gets even coverage.
+func TorturePoints(seed int64, n int, minCycle, maxCycle uint64) []TorturePoint {
+	if maxCycle <= minCycle {
+		maxCycle = minCycle + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	points := make([]TorturePoint, 0, n)
+	for i := 0; i < n; i++ {
+		p := TorturePoint{
+			Cycle: minCycle + uint64(rng.Int63n(int64(maxCycle-minCycle))),
+			Fault: Fault{
+				Kind:  fault.Kinds[i%len(fault.Kinds)],
+				Param: uint64(rng.Int63()),
+				Seed:  rng.Int63(),
+			},
+		}
+		if p.Fault.Kind == fault.NestedOutage {
+			p.Depth = 1 + rng.Intn(3)
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// tornEnergyUJ converts a TornCheckpoint Param (permille of the full
+// dump's energy demand, reduced mod 1000 so the dump always tears) into an
+// absolute reservoir capacity for CrashOptions.
+func tornEnergyUJ(param uint64, fullBytes int) float64 {
+	permille := param % 1000
+	uj := float64(fullBytes) * checkpoint.EnergyPerByteNJ / 1e3 * float64(permille) / 1000
+	if uj <= 0 {
+		// A zero reservoir still "exists": hand CrashWithOptions a budget
+		// too small for a single byte rather than disabling injection.
+		return checkpoint.EnergyPerByteNJ / 2e3
+	}
+	return uj
+}
+
+// RunTorturePoint executes one torture point on a fresh machine and
+// returns its verdict. Simulation-level failures (config errors, model
+// bugs) surface as the error; contract breaches surface in
+// Outcome.Violation.
+func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
+	sys, err := NewSystem(rc)
+	if err != nil {
+		return nil, err
+	}
+	hub := rc.Obs
+	if hub == nil {
+		hub = DefaultObs
+	}
+	inj := fault.NewInjector(hub)
+	out := &TortureOutcome{Point: p}
+
+	done, err := sys.RunUntil(p.Cycle)
+	if err != nil {
+		return nil, err
+	}
+	if done {
+		out.CompletedBeforeFailure = true
+		return out, nil
+	}
+
+	// Cut power. A torn-checkpoint fault maps its permille parameter onto
+	// an undersized residual-energy reservoir; sizing uses a pre-crash
+	// capture of the same state the dump FSM will stream.
+	var opt multicore.CrashOptions
+	if p.Fault.Kind == fault.TornCheckpoint {
+		full := 0
+		for i, c := range sys.Cores() {
+			im := checkpoint.Capture(c)
+			im.CoreID = i
+			full += len(im.Encode())
+		}
+		opt.CheckpointEnergyUJ = tornEnergyUJ(p.Fault.Param, full)
+	}
+	rep := sys.CrashWithOptions(opt)
+	dev := sys.Device()
+	if rep.Torn {
+		out.Injected = true
+		inj.Injected(p.Fault, p.Cycle)
+	}
+
+	// NVM-level damage to the persisted checkpoint region.
+	if p.Fault.ByteLevel() {
+		if dev.MutateCheckpoint(p.Fault.Mutate) {
+			out.Injected = true
+			inj.Injected(p.Fault, p.Cycle)
+		}
+	}
+
+	// Recovery, re-entered from the top after each nested outage. The
+	// protocol must converge: either a completed recovery or a typed
+	// refusal of a damaged checkpoint.
+	nestedLeft := 0
+	if p.Fault.Kind == fault.NestedOutage {
+		nestedLeft = p.Depth
+		if nestedLeft <= 0 {
+			nestedLeft = 1
+		}
+	}
+	var images []*checkpoint.Image
+	for {
+		out.RecoveryAttempts++
+		if out.RecoveryAttempts > nestedLeft+4 {
+			out.Violation = "recovery did not converge"
+			return out, nil
+		}
+		var lerr error
+		images, lerr = recovery.LoadImages(dev)
+		if lerr != nil {
+			out.Detected = true
+			out.DetectedAs = lerr.Error()
+			if !recoveryErrTyped(lerr) {
+				out.Violation = fmt.Sprintf("untyped recovery error: %v", lerr)
+			}
+			break
+		}
+		if nestedLeft > 0 {
+			// Power fails again mid-replay: apply only the first Param
+			// entries of each CSQ, then lose the machine and re-enter.
+			nestedLeft--
+			out.Injected = true
+			inj.Injected(p.Fault, p.Cycle)
+			for _, im := range images {
+				n := 0
+				if len(im.CSQ) > 0 {
+					n = int(p.Fault.Param % uint64(len(im.CSQ)+1))
+				}
+				if _, rerr := recovery.ReplayN(dev, im, n); rerr != nil {
+					out.Detected = true
+					out.DetectedAs = rerr.Error()
+					break
+				}
+			}
+			if out.Detected {
+				break
+			}
+			continue
+		}
+		var rerr error
+		for _, im := range images {
+			prog := sys.Cores()[im.CoreID].Program()
+			if _, rerr = recovery.Recover(dev, im, prog); rerr != nil {
+				break
+			}
+		}
+		if rerr != nil {
+			out.Detected = true
+			out.DetectedAs = rerr.Error()
+			if !recoveryErrTyped(rerr) {
+				out.Violation = fmt.Sprintf("untyped recovery error: %v", rerr)
+			}
+			break
+		}
+		out.Recovered = true
+		break
+	}
+
+	if out.Detected {
+		inj.Detected(p.Fault, p.Cycle)
+	}
+	switch {
+	case out.Violation != "":
+		// Already established (non-convergence or untyped error).
+	case out.Detected && !out.Injected:
+		out.Violation = fmt.Sprintf("spurious detection of an intact checkpoint: %s", out.DetectedAs)
+	case out.Recovered && out.Injected && p.Fault.Corrupting():
+		out.Violation = "silently recovered a corrupt checkpoint"
+	case out.Recovered:
+		// Verify the committed-prefix contract for every core.
+		for _, im := range images {
+			prog := sys.Cores()[im.CoreID].Program()
+			out.Inconsistencies += recovery.CountInconsistencies(dev, prog, im.Committed)
+		}
+		if out.Inconsistencies > 0 {
+			out.Violation = fmt.Sprintf("committed-prefix violation: %d words lost", out.Inconsistencies)
+		} else {
+			dev.ClearCheckpoint()
+		}
+	}
+	return out, nil
+}
+
+// recoveryErrTyped reports whether err belongs to recovery's typed
+// detection taxonomy.
+func recoveryErrTyped(err error) bool {
+	return recovery.IsDetection(err)
+}
+
+// RunTorture sweeps every point on fresh machines, invoking onPoint (if
+// non-nil) after each verdict, and aggregates the report. Counters
+// "torture.points" and "torture.violations" accumulate on the run's hub.
+func RunTorture(rc RunConfig, points []TorturePoint, onPoint func(*TortureOutcome)) (*TortureReport, error) {
+	hub := rc.Obs
+	if hub == nil {
+		hub = DefaultObs
+	}
+	rep := &TortureReport{ByKind: make(map[string]int)}
+	for _, p := range points {
+		out, err := RunTorturePoint(rc, p)
+		if err != nil {
+			return rep, fmt.Errorf("torture point %v: %w", p, err)
+		}
+		rep.Points++
+		rep.ByKind[p.Fault.Kind.String()]++
+		if out.CompletedBeforeFailure {
+			rep.CompletedBeforeFailure++
+		}
+		if out.Injected {
+			rep.Injected++
+		}
+		if out.Detected {
+			rep.Detected++
+		}
+		if out.Recovered {
+			rep.Recovered++
+		}
+		if out.Violation != "" {
+			rep.Violations = append(rep.Violations, out)
+		}
+		hub.Registry().Counter("torture.points").Inc()
+		if out.Violation != "" {
+			hub.Registry().Counter("torture.violations").Inc()
+		}
+		if onPoint != nil {
+			onPoint(out)
+		}
+	}
+	return rep, nil
+}
+
+// ShrinkTorturePoint greedily minimizes a violating point: it repeatedly
+// tries smaller failure cycles, parameters, and nesting depths, keeping
+// any candidate that still violates, until no reduction reproduces the
+// failure. The returned point is the minimal reproducer (the original if
+// the violation never reproduces, e.g. a flaky model bug).
+func ShrinkTorturePoint(rc RunConfig, p TorturePoint, minCycle uint64) (TorturePoint, error) {
+	still := func(c TorturePoint) (bool, error) {
+		out, err := RunTorturePoint(rc, c)
+		if err != nil {
+			return false, err
+		}
+		return out.Violation != "", nil
+	}
+	ok, err := still(p)
+	if err != nil || !ok {
+		return p, err
+	}
+	for iter := 0; iter < 64; iter++ {
+		improved := false
+		for _, cand := range shrinkCandidates(p, minCycle) {
+			v, err := still(cand)
+			if err != nil {
+				return p, err
+			}
+			if v {
+				p = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return p, nil
+}
+
+func shrinkCandidates(p TorturePoint, minCycle uint64) []TorturePoint {
+	var cands []TorturePoint
+	add := func(c TorturePoint) { cands = append(cands, c) }
+	if p.Cycle > minCycle {
+		c := p
+		c.Cycle = minCycle + (p.Cycle-minCycle)/2
+		add(c)
+		c = p
+		c.Cycle = p.Cycle - 1
+		add(c)
+	}
+	if p.Fault.Param > 0 {
+		c := p
+		c.Fault.Param = p.Fault.Param / 2
+		add(c)
+		c = p
+		c.Fault.Param = p.Fault.Param - 1
+		add(c)
+	}
+	if p.Depth > 1 {
+		c := p
+		c.Depth = p.Depth - 1
+		add(c)
+	}
+	if p.Fault.Seed != 0 {
+		c := p
+		c.Fault.Seed = p.Fault.Seed / 2
+		add(c)
+	}
+	return cands
+}

@@ -74,7 +74,9 @@ func RunInOrder(app string, insts int) (*InOrderResult, error) {
 			if cyc >= limit {
 				return nil, fmt.Errorf("ppa: in-order run exceeded %d cycles", limit)
 			}
-			hier.Tick(cyc)
+			if err := hier.Tick(cyc); err != nil {
+				return nil, err
+			}
 			core.Step(cyc)
 		}
 		return core.Stats(), nil
