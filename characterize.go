@@ -1,9 +1,11 @@
 package ppa
 
 import (
+	"context"
 	"fmt"
 
 	"ppa/internal/isa"
+	"ppa/internal/sweep"
 	"ppa/internal/workload"
 )
 
@@ -102,15 +104,11 @@ func maxThreads(n int) int {
 }
 
 // CharacterizeAll characterizes every application (expensive: two runs per
-// app).
+// app), spreading the applications across the shared worker pool. Results
+// stay in Apps() order.
 func CharacterizeAll(insts int) ([]*Characterization, error) {
-	var out []*Characterization
-	for _, app := range Apps() {
-		c, err := Characterize(app, insts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
-	}
-	return out, nil
+	apps := Apps()
+	return sweep.Map(context.Background(), 0, len(apps), func(_ context.Context, i int) (*Characterization, error) {
+		return Characterize(apps[i], insts)
+	})
 }

@@ -1,0 +1,256 @@
+// Benchmark trajectory export: `ppabench -benchjson BENCH_PR3.json` re-runs
+// the hot-loop, end-to-end throughput, and torture-sweep benchmarks in
+// process (via testing.Benchmark, so the numbers are the same ones
+// `go test -bench` reports) and writes them next to the committed baseline
+// as machine-readable JSON. CI regenerates the file on every push and
+// uploads it as an artifact, so the performance trajectory of the cycle
+// loop is tracked commit over commit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ppa"
+)
+
+// hotLoopBaseline is the per-cycle cost of the seed implementation,
+// measured at commit c806868 (the tree just before the allocation-free
+// refactor) via a git worktree on the same host and interleaved with the
+// "after" runs so both sides saw identical machine load. allocs/op was
+// ~1.5 per cycle across all apps.
+var hotLoopBaseline = map[string]float64{ // ns per simulated cycle
+	"gcc":      110.4,
+	"mcf":      73.0,
+	"lbm":      145.7,
+	"water-ns": 1906.0,
+	"rb":       1370.0,
+}
+
+// throughputBaseline is BenchmarkSimulatorThroughput at the same commit:
+// one full 50k-instruction PPA run, in ns and allocations per run.
+const (
+	throughputBaselineNS     = 15.40e6
+	throughputBaselineAllocs = 4655
+)
+
+type benchHost struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+type benchCoreStep struct {
+	App               string  `json:"app"`
+	BaselineNSPerOp   float64 `json:"baseline_ns_per_cycle"`
+	NSPerOp           float64 `json:"ns_per_cycle"`
+	CyclesPerSec      float64 `json:"cycles_per_sec"`
+	SpeedupPct        float64 `json:"cycles_per_sec_gain_pct"`
+	AllocsPerOp       float64 `json:"allocs_per_cycle"`
+	BytesPerOp        float64 `json:"bytes_per_cycle"`
+	WarmupCycles      uint64  `json:"warmup_cycles"`
+	InstsPerThreadCfg int     `json:"insts_per_thread"`
+}
+
+type benchThroughput struct {
+	BaselineNSPerOp     float64 `json:"baseline_ns_per_run"`
+	NSPerOp             float64 `json:"ns_per_run"`
+	InstsPerRun         int     `json:"insts_per_run"`
+	InstsPerSec         float64 `json:"insts_per_sec"`
+	SpeedupPct          float64 `json:"insts_per_sec_gain_pct"`
+	AllocsPerOp         float64 `json:"allocs_per_run"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_run"`
+}
+
+type benchSweep struct {
+	Points       int     `json:"points"`
+	Workers      int     `json:"workers"`
+	SequentialMS float64 `json:"sequential_ms"`
+	ParallelMS   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+	Note         string  `json:"note"`
+}
+
+type benchReport struct {
+	Schema         string          `json:"schema"`
+	GeneratedBy    string          `json:"generated_by"`
+	BaselineCommit string          `json:"baseline_commit"`
+	BaselineNote   string          `json:"baseline_note"`
+	Host           benchHost       `json:"host"`
+	CoreStep       []benchCoreStep `json:"core_step"`
+	Throughput     benchThroughput `json:"simulator_throughput"`
+	TortureSweep   benchSweep      `json:"torture_sweep"`
+}
+
+// benchCoreStepApps is the hot-loop coverage set: two SPEC-like integer
+// traces, a bandwidth-bound float trace, and the two store-heavy
+// multi-threaded traces that stress the persist path hardest.
+var benchCoreStepApps = []string{"gcc", "mcf", "lbm", "water-ns", "rb"}
+
+func runBenchJSON(path string) {
+	rep := benchReport{
+		Schema:         "ppa-bench/v1",
+		GeneratedBy:    "ppabench -benchjson",
+		BaselineCommit: "c806868",
+		BaselineNote: "baseline measured at the named commit via a git worktree on the " +
+			"same host, interleaved with the refactored runs under identical load; " +
+			"core_step ns_per_cycle is the median of three runs",
+		Host: benchHost{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+
+	// Warm the process (heap arenas, page cache, branch predictors) with a
+	// short throwaway run so the first measured app isn't penalized for
+	// cold-start costs the later ones don't pay.
+	fmt.Fprintln(os.Stderr, "benchjson: warmup...")
+	if _, err := ppa.Run(ppa.RunConfig{App: "gcc", Scheme: ppa.SchemePPA, InstsPerThread: 50_000}); err != nil {
+		check(err)
+	}
+
+	const warmup = 20_000
+	const hotLoopInsts = 2_000_000
+	for _, app := range benchCoreStepApps {
+		fmt.Fprintf(os.Stderr, "benchjson: core step %s...\n", app)
+		// Median of three runs: the multi-threaded traces have few
+		// iterations per benchtime second, so single runs are noisy on a
+		// loaded host.
+		var r testing.BenchmarkResult
+		var samples []float64
+		for range 3 {
+			one := testing.Benchmark(func(b *testing.B) { benchCoreStepOnce(b, app, hotLoopInsts, warmup) })
+			nsOne := float64(one.T.Nanoseconds()) / float64(one.N)
+			if len(samples) == 0 || nsOne < float64(r.T.Nanoseconds())/float64(r.N) {
+				r = one
+			}
+			samples = append(samples, nsOne)
+		}
+		ns := median3(samples)
+		base := hotLoopBaseline[app]
+		rep.CoreStep = append(rep.CoreStep, benchCoreStep{
+			App:               app,
+			BaselineNSPerOp:   base,
+			NSPerOp:           ns,
+			CyclesPerSec:      1e9 / ns,
+			SpeedupPct:        (base/ns - 1) * 100,
+			AllocsPerOp:       float64(r.AllocsPerOp()),
+			BytesPerOp:        float64(r.AllocedBytesPerOp()),
+			WarmupCycles:      warmup,
+			InstsPerThreadCfg: hotLoopInsts,
+		})
+	}
+
+	fmt.Fprintln(os.Stderr, "benchjson: simulator throughput...")
+	const thrInsts = 50_000
+	tr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ppa.Run(ppa.RunConfig{App: "gcc", Scheme: ppa.SchemePPA, InstsPerThread: thrInsts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	thrNS := float64(tr.T.Nanoseconds()) / float64(tr.N)
+	rep.Throughput = benchThroughput{
+		BaselineNSPerOp:     throughputBaselineNS,
+		NSPerOp:             thrNS,
+		InstsPerRun:         thrInsts,
+		InstsPerSec:         float64(thrInsts) / (thrNS / 1e9),
+		SpeedupPct:          (throughputBaselineNS/thrNS - 1) * 100,
+		AllocsPerOp:         float64(tr.AllocsPerOp()),
+		BaselineAllocsPerOp: throughputBaselineAllocs,
+	}
+
+	fmt.Fprintln(os.Stderr, "benchjson: torture sweep...")
+	rc := ppa.RunConfig{App: "mcf", Scheme: ppa.SchemePPA, InstsPerThread: 1000}
+	points := ppa.TorturePoints(1, 100, 200, 3000)
+	seq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ppa.RunTorture(rc, points, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	par := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ppa.RunTortureParallel(context.Background(), rc, points, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	seqMS := float64(seq.T.Nanoseconds()) / float64(seq.N) / 1e6
+	parMS := float64(par.T.Nanoseconds()) / float64(par.N) / 1e6
+	rep.TortureSweep = benchSweep{
+		Points:       len(points),
+		Workers:      runtime.GOMAXPROCS(0),
+		SequentialMS: seqMS,
+		ParallelMS:   parMS,
+		Speedup:      seqMS / parMS,
+		Note: "parallel speedup scales with GOMAXPROCS; on a 1-CPU host the worker " +
+			"pool degenerates to sequential order. Byte-identity of parallel and " +
+			"sequential sweeps is enforced by TestTortureParallelMatchesSequential " +
+			"under -race.",
+	}
+
+	f, err := os.Create(path)
+	check(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(&rep))
+	check(f.Close())
+	fmt.Printf("wrote %s\n", path)
+}
+
+// median3 returns the median of exactly three samples.
+func median3(s []float64) float64 {
+	a, b, c := s[0], s[1], s[2]
+	switch {
+	case (a <= b && b <= c) || (c <= b && b <= a):
+		return b
+	case (b <= a && a <= c) || (c <= a && a <= b):
+		return a
+	default:
+		return c
+	}
+}
+
+// benchCoreStepOnce is BenchmarkCoreStep from bench_hotloop_test.go, kept in
+// sync by hand: one cycle of a warm single-core PPA system per op.
+func benchCoreStepOnce(b *testing.B, app string, insts, warmup int) {
+	rc := ppa.RunConfig{App: app, Scheme: ppa.SchemePPA, InstsPerThread: insts}
+	sys, err := ppa.NewSystem(rc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.RunUntil(uint64(warmup)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := sys.RunUntil(sys.Cycle() + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done {
+			b.StopTimer()
+			if sys, err = ppa.NewSystem(rc); err != nil {
+				b.Fatal(err)
+			}
+			if _, err = sys.RunUntil(uint64(warmup)); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}

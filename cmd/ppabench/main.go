@@ -7,6 +7,7 @@
 //	ppabench -ablations            # the DESIGN.md ablation studies
 //	ppabench -all                  # everything
 //	ppabench -fig 8 -insts 100000  # higher resolution
+//	ppabench -benchjson BENCH_PR3.json  # machine-readable benchmark trajectory
 //
 // Output is the paper's row/series structure: per-application bars with
 // the geometric-mean summary the corresponding figure reports.
@@ -39,6 +40,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every simulated run (open in chrome://tracing or Perfetto)")
 	metricsPath := flag.String("metrics", "", "write the aggregated metrics registry as JSON Lines")
+	benchJSON := flag.String("benchjson", "", "re-run the hot-loop/throughput/sweep benchmarks and write the trajectory JSON to this path")
 	flag.Parse()
 
 	// The figure/table harness assembles machines internally, so tracing
@@ -51,6 +53,8 @@ func main() {
 	}
 
 	switch {
+	case *benchJSON != "":
+		runBenchJSON(*benchJSON)
 	case *all:
 		for _, f := range []int{1, 5, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19} {
 			runFig(f)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 
 	"ppa"
 	"ppa/internal/fault"
+	internalsweep "ppa/internal/sweep"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 	reproPath := flag.String("repro", "", "path for the shrunk reproducer JSON written on violation (default ppatorture-repro.json)")
 	replayPath := flag.String("replay", "", "replay a saved reproducer JSON and exit")
 	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot as JSON Lines")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print every point's verdict")
 	flag.Parse()
 
@@ -71,8 +74,9 @@ func main() {
 		}
 		sweep = kept
 	}
-	log.Printf("sweeping %d points: app=%s scheme=%s insts=%d cycles=[%d,%d) seed=%d",
-		len(sweep), *appFlag, *schemeFlag, *insts, *minCycle, *maxCycle, *seed)
+	log.Printf("sweeping %d points: app=%s scheme=%s insts=%d cycles=[%d,%d) seed=%d workers=%d",
+		len(sweep), *appFlag, *schemeFlag, *insts, *minCycle, *maxCycle, *seed,
+		internalsweep.Workers(*workers))
 
 	onPoint := func(out *ppa.TortureOutcome) {
 		if *verbose || out.Violation != "" {
@@ -88,7 +92,7 @@ func main() {
 			log.Printf("  %v -> %s", out.Point, status)
 		}
 	}
-	rep, err := ppa.RunTorture(rc, sweep, onPoint)
+	rep, err := ppa.RunTortureParallel(context.Background(), rc, sweep, *workers, onPoint)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,14 +1,14 @@
 package ppa
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"ppa/internal/multicore"
 	"ppa/internal/persist"
 	"ppa/internal/stats"
+	"ppa/internal/sweep"
 	"ppa/internal/workload"
 )
 
@@ -49,29 +49,17 @@ type runJob struct {
 	sample    bool
 }
 
-// runAll executes jobs in parallel across CPUs and returns results in job
-// order.
+// runAll executes jobs on the shared bounded worker pool (one worker per
+// CPU) and returns results in job order; the first failure cancels the
+// remaining jobs and surfaces from the lowest failing index.
 func runAll(jobs []runJob) ([]*multicore.Result, error) {
-	results := make([]*multicore.Result, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = runOne(jobs[i])
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	return sweep.Map(context.Background(), 0, len(jobs), func(_ context.Context, i int) (*multicore.Result, error) {
+		r, err := runOne(jobs[i])
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", jobs[i].prof.Name, jobs[i].scheme.Kind, err)
 		}
-	}
-	return results, nil
+		return r, nil
+	})
 }
 
 func runOne(j runJob) (*multicore.Result, error) {

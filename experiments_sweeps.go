@@ -20,18 +20,37 @@ type SweepPoint struct {
 	GMean float64
 }
 
-// sweep runs (baseline, PPA) for every profile at every configuration.
-func sweep(profiles []workload.Profile, insts int, labels []string,
+// configSweep runs (baseline, PPA) for every profile at every configuration
+// as one flat job matrix on the shared worker pool: every point of every
+// configuration competes for the same workers, instead of the sweep
+// synchronizing at each configuration boundary.
+func configSweep(profiles []workload.Profile, insts int, labels []string,
 	customizers []func(*multicore.Config)) ([]SweepPoint, error) {
 
-	out := make([]SweepPoint, len(labels))
-	for ci, label := range labels {
-		series, _, err := slowdownSeries(profiles, persist.BaselineDefault(),
-			[]persist.Config{persist.PPADefault()}, []string{"PPA"}, insts, customizers[ci])
-		if err != nil {
-			return nil, err
+	var jobs []runJob
+	for ci := range labels {
+		for _, p := range profiles {
+			jobs = append(jobs,
+				runJob{prof: p, scheme: persist.BaselineDefault(), insts: insts, customize: customizers[ci]},
+				runJob{prof: p, scheme: persist.PPADefault(), insts: insts, customize: customizers[ci]})
 		}
-		out[ci] = SweepPoint{Label: label, PerApp: series[0].Values, GMean: series[0].GMean}
+	}
+	results, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(labels))
+	per := 2 * len(profiles)
+	for ci, label := range labels {
+		vals := make([]AppValue, 0, len(profiles))
+		for pi, p := range profiles {
+			base := results[ci*per+2*pi]
+			res := results[ci*per+2*pi+1]
+			vals = append(vals, AppValue{App: p.Name, Suite: p.Suite,
+				Value: stats.Ratio(float64(res.Cycles), float64(base.Cycles))})
+		}
+		s := newSeries(label, vals)
+		out[ci] = SweepPoint{Label: label, PerApp: s.Values, GMean: s.GMean}
 	}
 	return out, nil
 }
@@ -62,7 +81,7 @@ func Fig15(insts int) ([]SweepPoint, error) {
 		n := n
 		custom = append(custom, func(cfg *multicore.Config) { cfg.NVM.WPQEntries = n })
 	}
-	return sweep(workload.MemoryIntensive(), insts, labels, custom)
+	return configSweep(workload.MemoryIntensive(), insts, labels, custom)
 }
 
 // PRFConfig is one Figure 16 register-file configuration.
@@ -98,7 +117,7 @@ func Fig16(insts int) ([]SweepPoint, error) {
 			m.Pipeline.Rename = rename.Config{IntPhysRegs: c.Int, FPPhysRegs: c.FP}
 		})
 	}
-	return sweep(workload.Profiles(), insts, labels, custom)
+	return configSweep(workload.Profiles(), insts, labels, custom)
 }
 
 // Fig17 reproduces Figure 17: PPA's slowdown with CSQ sizes 10-50
@@ -121,7 +140,7 @@ func Fig17(insts int) ([]SweepPoint, error) {
 			}
 		})
 	}
-	return sweep(workload.Profiles(), insts, labels, custom)
+	return configSweep(workload.Profiles(), insts, labels, custom)
 }
 
 // Fig18 reproduces Figure 18: PPA's slowdown across NVM write bandwidths
@@ -137,7 +156,7 @@ func Fig18(insts int) ([]SweepPoint, error) {
 			cfg.NVM = cfg.NVM.WithWriteBandwidth(bw)
 		})
 	}
-	return sweep(workload.MemoryIntensive(), insts, labels, custom)
+	return configSweep(workload.MemoryIntensive(), insts, labels, custom)
 }
 
 // Fig19 reproduces Figure 19: PPA's slowdown on the multi-threaded

@@ -18,14 +18,23 @@ import (
 	"ppa/internal/isa"
 )
 
+// saWay is one way's tag state. The fields pack to 16 bytes so a whole
+// 4-way set shares one hardware cache line — the tag arrays are probed
+// several times per simulated cycle, and the previous parallel-slice layout
+// (tags/valid/dirty/lru in four separate arrays) cost four cache lines per
+// probe.
+type saWay struct {
+	tag   uint64
+	lru   uint32
+	valid bool
+	dirty bool
+}
+
 // setAssoc is an LRU set-associative tag array.
 type setAssoc struct {
 	ways    int
 	setMask uint64
-	tags    []uint64
-	valid   []bool
-	dirty   []bool
-	lru     []uint32
+	w       []saWay
 	clock   uint32
 
 	Hits   uint64
@@ -50,10 +59,7 @@ func newSetAssoc(sizeBytes uint64, ways int) *setAssoc {
 	return &setAssoc{
 		ways:    ways,
 		setMask: sets - 1,
-		tags:    make([]uint64, n),
-		valid:   make([]bool, n),
-		dirty:   make([]bool, n),
-		lru:     make([]uint32, n),
+		w:       make([]saWay, n),
 	}
 }
 
@@ -66,7 +72,7 @@ func (c *setAssoc) setBase(line uint64) int {
 func (c *setAssoc) lookup(line uint64) int {
 	base := c.setBase(line)
 	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == line {
+		if e := &c.w[base+w]; e.valid && e.tag == line {
 			return base + w
 		}
 	}
@@ -77,9 +83,10 @@ func (c *setAssoc) lookup(line uint64) int {
 func (c *setAssoc) access(line uint64, write bool) bool {
 	c.clock++
 	if slot := c.lookup(line); slot >= 0 {
-		c.lru[slot] = c.clock
+		e := &c.w[slot]
+		e.lru = c.clock
 		if write {
-			c.dirty[slot] = true
+			e.dirty = true
 		}
 		c.Hits++
 		return true
@@ -96,7 +103,7 @@ func (c *setAssoc) install(line uint64, write bool) (victim uint64, victimDirty,
 	// Prefer an invalid way.
 	slot := -1
 	for w := 0; w < c.ways; w++ {
-		if !c.valid[base+w] {
+		if !c.w[base+w].valid {
 			slot = base + w
 			break
 		}
@@ -105,16 +112,13 @@ func (c *setAssoc) install(line uint64, write bool) (victim uint64, victimDirty,
 		// Evict LRU.
 		slot = base
 		for w := 1; w < c.ways; w++ {
-			if c.lru[base+w] < c.lru[slot] {
+			if c.w[base+w].lru < c.w[slot].lru {
 				slot = base + w
 			}
 		}
-		victim, victimDirty, evicted = c.tags[slot], c.dirty[slot], true
+		victim, victimDirty, evicted = c.w[slot].tag, c.w[slot].dirty, true
 	}
-	c.tags[slot] = line
-	c.valid[slot] = true
-	c.dirty[slot] = write
-	c.lru[slot] = c.clock
+	c.w[slot] = saWay{tag: line, lru: c.clock, valid: true, dirty: write}
 	return victim, victimDirty, evicted
 }
 
@@ -122,8 +126,9 @@ func (c *setAssoc) install(line uint64, write bool) (victim uint64, victimDirty,
 // present and dirty.
 func (c *setAssoc) invalidate(line uint64) (present, dirty bool) {
 	if slot := c.lookup(line); slot >= 0 {
-		c.valid[slot] = false
-		return true, c.dirty[slot]
+		e := &c.w[slot]
+		e.valid = false
+		return true, e.dirty
 	}
 	return false, false
 }
@@ -131,7 +136,7 @@ func (c *setAssoc) invalidate(line uint64) (present, dirty bool) {
 // markDirty sets the dirty bit if present.
 func (c *setAssoc) markDirty(line uint64) {
 	if slot := c.lookup(line); slot >= 0 {
-		c.dirty[slot] = true
+		c.w[slot].dirty = true
 	}
 }
 

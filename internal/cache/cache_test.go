@@ -350,6 +350,172 @@ func TestWBFullBackpressure(t *testing.T) {
 	}
 }
 
+func TestWriteBufferRingReleasesPoppedEntries(t *testing.T) {
+	// Regression: the old reslice-FIFO (entries = entries[1:]) kept every
+	// popped entry — and its per-line word map — reachable through the
+	// backing array for the run's lifetime. The ring must keep a fixed
+	// backing array and zero a slot the moment the WPQ accepts its entry.
+	p := DefaultParams(1)
+	p.WBEntries = 4
+	p.PersistLag = 0
+	h := New(p, nvm.NewDevice(nvm.DefaultConfig()), nil, nil)
+	wb := h.wbs[0]
+	storage := &wb.buf[0]
+
+	// Push and drain three times the ring's capacity so head wraps.
+	cycle := uint64(0)
+	for i := 0; i < 3*p.WBEntries; i++ {
+		addr := uint64(i) * isa.LineSize // distinct lines: no coalescing
+		if _, ok := h.PersistStore(0, addr, uint64(i+1), cycle); !ok {
+			t.Fatalf("enqueue %d failed", i)
+		}
+		h.FlushWB(0, cycle)
+		for c := cycle; c < cycle+10_000 && h.PersistPending(0) > 0; c++ {
+			if err := h.Tick(c); err != nil {
+				t.Fatal(err)
+			}
+			cycle = c + 1
+		}
+		if h.PersistPending(0) != 0 {
+			t.Fatalf("entry %d never drained", i)
+		}
+	}
+
+	if len(wb.buf) != p.WBEntries || &wb.buf[0] != storage {
+		t.Fatalf("ring storage changed: len %d, realloc %v",
+			len(wb.buf), &wb.buf[0] != storage)
+	}
+	if wb.depth() != 0 {
+		t.Fatalf("depth %d after full drain", wb.depth())
+	}
+	for i := range wb.buf {
+		if e := wb.buf[i]; e != (wbEntry{}) {
+			t.Fatalf("popped slot %d retains entry %+v", i, e)
+		}
+	}
+	if len(wb.index) != 0 {
+		t.Fatalf("coalesce index retains %d lines", len(wb.index))
+	}
+}
+
+func TestCoalesceAtReadyBoundary(t *testing.T) {
+	// A store arriving the very cycle the WPQ accepts its line's entry must
+	// open a fresh entry, not coalesce into the popped one: the system ticks
+	// the hierarchy before stepping cores, so the accept has already cleared
+	// the coalesce index. Were the ordering reversed, the store would bump
+	// stores on an entry whose pending contribution was already subtracted,
+	// and the Section 4.3 counter would never return to zero.
+	p := DefaultParams(1)
+	p.PersistTransit = 2
+	p.PersistLag = 0
+	dev := nvm.NewDevice(nvm.DefaultConfig())
+	h := New(p, dev, nil, nil)
+
+	line := uint64(0x2000)
+	if _, ok := h.PersistStore(0, line, 11, 0); !ok { // ready at cycle 2
+		t.Fatal("enqueue failed")
+	}
+	if err := h.Tick(1); err != nil { // still in transit
+		t.Fatal(err)
+	}
+	if h.PersistPending(0) != 1 {
+		t.Fatal("entry drained before its transit elapsed")
+	}
+	if err := h.Tick(2); err != nil { // boundary cycle: WPQ accepts
+		t.Fatal(err)
+	}
+	if h.PersistPending(0) != 0 {
+		t.Fatal("ready entry not accepted at its boundary cycle")
+	}
+	// Same-cycle store after Tick — the position a core's Step occupies.
+	if _, ok := h.PersistStore(0, line+8, 22, 2); !ok {
+		t.Fatal("boundary store failed")
+	}
+	lines, coalesced := h.WBStats()
+	if lines != 2 || coalesced != 0 {
+		t.Fatalf("boundary store must open a fresh entry: lines=%d coalesced=%d",
+			lines, coalesced)
+	}
+	if h.PersistPending(0) != 1 {
+		t.Fatalf("pending %d after boundary store", h.PersistPending(0))
+	}
+	for c := uint64(3); c < 1000 && h.PersistPending(0) > 0; c++ {
+		if err := h.Tick(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.PersistPending(0) != 0 {
+		t.Fatalf("persist counter stuck at %d", h.PersistPending(0))
+	}
+	if dev.ReadWord(line) != 11 || dev.ReadWord(line+8) != 22 {
+		t.Fatalf("boundary values not durable: %d %d",
+			dev.ReadWord(line), dev.ReadWord(line+8))
+	}
+}
+
+func TestCoalesceIntoPastReadyQueuedEntry(t *testing.T) {
+	// When the WPQ is full, an entry can sit in the write buffer with its
+	// ready cycle long past. Stores coalescing into it are still pending
+	// stores; when the entry finally drains, pending must drop by the full
+	// coalesced count — exactly once.
+	cfg := nvm.DefaultConfig()
+	cfg.Channels = 1
+	cfg.WPQEntries = 1
+	cfg.WCBEntries = 2
+	cfg.WriteDrainCycles = 50 // media busy keeps the WCB (then WPQ) backed up
+	cfg.CoalesceWPQ = false
+	p := DefaultParams(1)
+	p.PersistTransit = 1
+	p.PersistLag = 0
+	dev := nvm.NewDevice(cfg)
+	h := New(p, dev, nil, nil)
+
+	// Four blockers drain one per cycle into the device until the WCB is
+	// full behind a busy media write and the last blocker occupies the
+	// single WPQ slot; the fifth entry (the victim) then sits past-ready.
+	victim := uint64(0x5000)
+	for i := uint64(0); i < 4; i++ {
+		if _, ok := h.PersistStore(0, 0x1000+i*0x40, i+1, 0); !ok {
+			t.Fatalf("blocker %d enqueue failed", i)
+		}
+	}
+	if _, ok := h.PersistStore(0, victim, 7, 0); !ok { // ready at cycle 1
+		t.Fatal("victim enqueue failed")
+	}
+	for c := uint64(1); c <= 5; c++ {
+		if err := h.Tick(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.PersistPending(0) != 1 {
+		t.Fatalf("pending %d: victim should be the only queued store, held "+
+			"back by a full WPQ", h.PersistPending(0))
+	}
+	// Coalesce a second store into the past-ready, still-queued entry.
+	if _, ok := h.PersistStore(0, victim+8, 8, 5); !ok {
+		t.Fatal("coalescing store failed")
+	}
+	if _, coalesced := h.WBStats(); coalesced != 1 {
+		t.Fatalf("expected 1 coalesced store, got %d", coalesced)
+	}
+	if h.PersistPending(0) != 2 {
+		t.Fatalf("pending %d, want 2", h.PersistPending(0))
+	}
+	for c := uint64(6); c < 5000 && h.PersistPending(0) > 0; c++ {
+		if err := h.Tick(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.PersistPending(0) != 0 {
+		t.Fatalf("persist counter stuck at %d — under- or over-count",
+			h.PersistPending(0))
+	}
+	if dev.ReadWord(victim) != 7 || dev.ReadWord(victim+8) != 8 {
+		t.Fatalf("coalesced values not durable: %d %d",
+			dev.ReadWord(victim), dev.ReadWord(victim+8))
+	}
+}
+
 func BenchmarkL1Hit(b *testing.B) {
 	h := New(DefaultParams(1), nvm.NewDevice(nvm.DefaultConfig()), nil, nil)
 	h.Access(0, 0x1000, false, 0)

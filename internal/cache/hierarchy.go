@@ -111,7 +111,7 @@ func DefaultParams(n int) Params {
 type wbEntry struct {
 	seq    int64 // absolute append sequence, for ack tokens
 	line   uint64
-	words  map[uint64]uint64
+	words  isa.LineWords
 	ready  uint64 // cycle at which it may enter the WPQ
 	stores int    // coalesced store count (for the persist counter)
 }
@@ -123,11 +123,17 @@ type wbEntry struct {
 // a pending persist coalesces into it — under write-bandwidth pressure the
 // queue deepens, residency grows, and coalescing rises, which is exactly
 // the self-limiting behaviour persist coalescing provides.
+//
+// The FIFO is a fixed ring: buf never grows past its capacity and a popped
+// slot is zeroed immediately, so a long simulation retains no storage for
+// entries the WPQ already accepted (the old reslice-FIFO kept every popped
+// entry reachable through the backing array for the run's lifetime).
 type writeBuffer struct {
-	entries  []wbEntry
+	buf      []wbEntry        // fixed ring storage, len(buf) == capacity
+	head     int              // ring index of the front (oldest) entry
+	n        int              // live entries
 	index    map[uint64]int64 // line -> entry seq (when coalescing)
-	cap      int
-	pending  int // outstanding (unacked) stores — the Section 4.3 counter
+	pending  int              // outstanding (unacked) stores — the Section 4.3 counter
 	coalesce bool
 
 	appended int64 // entries ever appended
@@ -142,23 +148,39 @@ func newWriteBuffer(capEntries int, coalesce bool) *writeBuffer {
 	if capEntries <= 0 {
 		capEntries = 1
 	}
-	return &writeBuffer{cap: capEntries, coalesce: coalesce, index: make(map[uint64]int64)}
+	return &writeBuffer{buf: make([]wbEntry, capEntries), coalesce: coalesce, index: make(map[uint64]int64)}
 }
 
-func (w *writeBuffer) full() bool { return len(w.entries) >= w.cap }
+func (w *writeBuffer) full() bool { return w.n >= len(w.buf) }
+
+func (w *writeBuffer) depth() int { return w.n }
 
 // at returns the queued entry with the given seq; entries are FIFO with
-// consecutive seqs, so its position is seq - popped.
-func (w *writeBuffer) at(seq int64) *wbEntry { return &w.entries[seq-w.popped] }
+// consecutive seqs, so its ring offset from head is seq - popped.
+func (w *writeBuffer) at(seq int64) *wbEntry {
+	return &w.buf[(w.head+int(seq-w.popped))%len(w.buf)]
+}
+
+// front returns the oldest queued entry; the caller must check depth() > 0.
+func (w *writeBuffer) front() *wbEntry { return &w.buf[w.head] }
 
 // add enqueues one store's persist; it returns the ack token of the entry
 // carrying the store and ok=false when the buffer is full and nothing
 // could coalesce.
+//
+// Ordering invariant: callers add stores only after the cycle's Tick has
+// run (the system ticks the hierarchy before stepping cores), so an entry
+// whose ready cycle has already passed and that the WPQ accepted this
+// cycle was popped — and its index mapping cleared — before any same-cycle
+// store could coalesce into it. A store arriving at the accept boundary
+// therefore opens a fresh entry, and Tick's pending -= stores reads a
+// count no later store can inflate. The coalesce-at-ready-boundary test in
+// cache_test.go pins this.
 func (w *writeBuffer) add(line, addr, val uint64, ready uint64) (token int64, ok bool) {
 	if w.coalesce {
 		if seq, hit := w.index[line]; hit {
 			e := w.at(seq)
-			e.words[addr] = val
+			e.words.Set(addr, val)
 			e.stores++
 			w.pending++
 			w.CoalescedStores++
@@ -170,46 +192,147 @@ func (w *writeBuffer) add(line, addr, val uint64, ready uint64) (token int64, ok
 	}
 	seq := w.appended
 	w.appended++
-	w.entries = append(w.entries, wbEntry{
-		seq:    seq,
-		line:   line,
-		words:  map[uint64]uint64{addr: val},
-		ready:  ready,
-		stores: 1,
-	})
+	e := &w.buf[(w.head+w.n)%len(w.buf)]
+	*e = wbEntry{seq: seq, line: line, ready: ready, stores: 1}
+	e.words.Set(addr, val)
+	w.n++
 	if w.coalesce {
 		w.index[line] = seq
 	}
-	if len(w.entries) > w.MaxDepth {
-		w.MaxDepth = len(w.entries)
+	if w.n > w.MaxDepth {
+		w.MaxDepth = w.n
 	}
 	w.pending++
 	w.EnqueuedLines++
 	return seq, true
 }
 
-// pop removes the front entry after WPQ acceptance.
+// pop removes the front entry after WPQ acceptance, releasing its slot.
 func (w *writeBuffer) pop() {
-	front := w.entries[0]
-	w.entries = w.entries[1:]
-	w.popped++
+	front := &w.buf[w.head]
 	if w.coalesce {
 		delete(w.index, front.line)
 	}
+	*front = wbEntry{}
+	w.head = (w.head + 1) % len(w.buf)
+	w.n--
+	w.popped++
 }
 
 // acked reports whether the entry with the given token has entered the WPQ.
 func (w *writeBuffer) acked(token int64) bool { return token < w.popped }
 
 // evictionBuf is the memory-controller-side queue of dirty lines on their
-// way to NVM. It is volatile: a power failure drops it.
+// way to NVM. It is volatile: a power failure drops it. The slice is
+// reused: the head index advances on pop and the storage resets to the
+// front once drained, so steady-state eviction traffic stops allocating.
 type evictionBuf struct {
-	lines []evictEntry
+	entries []evictEntry
+	head    int
 }
 
 type evictEntry struct {
 	line  uint64
-	words map[uint64]uint64
+	words isa.LineWords
+}
+
+func (b *evictionBuf) depth() int { return len(b.entries) - b.head }
+
+func (b *evictionBuf) front() *evictEntry { return &b.entries[b.head] }
+
+func (b *evictionBuf) push(e evictEntry) {
+	if b.head > 0 && b.head == len(b.entries) {
+		b.entries = b.entries[:0]
+		b.head = 0
+	}
+	b.entries = append(b.entries, e)
+}
+
+func (b *evictionBuf) pop() {
+	b.entries[b.head] = evictEntry{}
+	b.head++
+}
+
+func (b *evictionBuf) reset() {
+	b.entries = nil
+	b.head = 0
+}
+
+// dirtyStore is the volatile latest-value layer: the current value of every
+// written-but-not-durable word. Storage is line-granular with a one-line
+// cursor — commits arrive in same-line runs, so the common case is an
+// array-slot hit instead of a per-word map probe (which dominated the
+// cycle-loop profile as map[word]value).
+type dirtyStore struct {
+	lines    map[uint64]*isa.LineWords
+	words    int // occupied slots across all lines
+	lastBase uint64
+	last     *isa.LineWords
+}
+
+func newDirtyStore() dirtyStore {
+	return dirtyStore{lines: make(map[uint64]*isa.LineWords)}
+}
+
+// line returns the entry covering base, or nil, moving the cursor on a hit.
+func (d *dirtyStore) line(base uint64) *isa.LineWords {
+	if d.last != nil && d.lastBase == base {
+		return d.last
+	}
+	lw := d.lines[base]
+	if lw != nil {
+		d.last, d.lastBase = lw, base
+	}
+	return lw
+}
+
+func (d *dirtyStore) get(a uint64) (uint64, bool) {
+	lw := d.line(isa.LineAlign(a))
+	if lw == nil {
+		return 0, false
+	}
+	return lw.Get(a)
+}
+
+func (d *dirtyStore) set(a, v uint64) {
+	base := isa.LineAlign(a)
+	lw := d.line(base)
+	if lw == nil {
+		lw = &isa.LineWords{}
+		d.lines[base] = lw
+		d.last, d.lastBase = lw, base
+	}
+	s := isa.Slot(a)
+	if lw.Mask&(1<<s) == 0 {
+		d.words++
+	}
+	lw.Words[s] = v
+	lw.Mask |= 1 << s
+}
+
+// clearSlot drops one occupied slot, deleting the line when it empties.
+func (d *dirtyStore) clearSlot(base uint64, lw *isa.LineWords, s int) {
+	lw.Mask &^= 1 << s
+	d.words--
+	if lw.Mask == 0 {
+		d.deleteLine(base)
+	}
+}
+
+func (d *dirtyStore) deleteLine(base uint64) {
+	if lw, ok := d.lines[base]; ok {
+		d.words -= lw.Len()
+		delete(d.lines, base)
+	}
+	if d.lastBase == base {
+		d.last = nil
+	}
+}
+
+func (d *dirtyStore) reset() {
+	d.lines = make(map[uint64]*isa.LineWords)
+	d.words = 0
+	d.last = nil
 }
 
 // Hierarchy is the full memory system shared by all cores.
@@ -224,11 +347,12 @@ type Hierarchy struct {
 	dramc *dramCache  // memory mode only
 
 	// volatile latest values of written-but-not-durable words
-	dirtyWords map[uint64]uint64
+	dirty dirtyStore
 
-	wbs    []*writeBuffer
-	evictq evictionBuf
-	wbNext int // round-robin pointer for WB draining
+	wbs      []*writeBuffer
+	evictq   evictionBuf
+	wbNext   int // round-robin pointer for WB draining
+	channels int // cached dev.Config().Channels (Tick runs every cycle)
 
 	// warmResident classifies addresses whose backing lines are assumed
 	// DRAM-cache-resident from long before the simulation window;
@@ -256,7 +380,8 @@ func New(p Params, dev *nvm.Device, warmResident, l2Resident func(uint64) bool) 
 	h := &Hierarchy{
 		p:            p,
 		dev:          dev,
-		dirtyWords:   make(map[uint64]uint64),
+		channels:     dev.Config().Channels,
+		dirty:        newDirtyStore(),
 		warmResident: warmResident,
 		l2Resident:   l2Resident,
 	}
@@ -309,7 +434,7 @@ func (h *Hierarchy) Device() *nvm.Device { return h.dev }
 // ReadWord returns the current (volatile-latest) value of a word.
 func (h *Hierarchy) ReadWord(addr uint64) uint64 {
 	a := isa.WordAlign(addr)
-	if v, ok := h.dirtyWords[a]; ok {
+	if v, ok := h.dirty.get(a); ok {
 		return v
 	}
 	return h.dev.ReadWord(a)
@@ -544,43 +669,36 @@ func (h *Hierarchy) installDRAM(line uint64, write bool) {
 // memory-controller eviction buffer on its way to the WPQ.
 func (h *Hierarchy) queueNVMWriteback(line uint64) {
 	words := h.lineWords(line)
-	if len(words) == 0 {
+	if words.Empty() {
 		return
 	}
-	h.evictq.lines = append(h.evictq.lines, evictEntry{line: line, words: words})
+	h.evictq.push(evictEntry{line: line, words: words})
 	h.NVMWritebacks++
 }
 
 // lineWords snapshots the current dirty word values of a line.
-func (h *Hierarchy) lineWords(line uint64) map[uint64]uint64 {
-	var words map[uint64]uint64
-	for off := uint64(0); off < isa.LineSize; off += isa.WordSize {
-		if v, ok := h.dirtyWords[line+off]; ok {
-			if words == nil {
-				words = make(map[uint64]uint64, 8)
-			}
-			words[line+off] = v
-		}
+func (h *Hierarchy) lineWords(line uint64) isa.LineWords {
+	if lw := h.dirty.line(line); lw != nil {
+		return *lw
 	}
-	return words
+	return isa.LineWords{}
 }
 
 // flushLineToImage moves a line's dirty words straight into the backing
 // image (DRAM-only mode: DRAM is home).
 func (h *Hierarchy) flushLineToImage(line uint64) {
-	for off := uint64(0); off < isa.LineSize; off += isa.WordSize {
-		a := line + off
-		if v, ok := h.dirtyWords[a]; ok {
-			h.dev.Image().WriteWord(a, v)
-			delete(h.dirtyWords, a)
-		}
+	lw := h.dirty.line(line)
+	if lw == nil {
+		return
 	}
+	lw.Range(line, func(a, v uint64) { h.dev.Image().WriteWord(a, v) })
+	h.dirty.deleteLine(line)
 }
 
 // StoreData records a store's value in the volatile functional layer. It is
 // called when the store merges into L1D.
 func (h *Hierarchy) StoreData(addr, val uint64) {
-	h.dirtyWords[isa.WordAlign(addr)] = val
+	h.dirty.set(isa.WordAlign(addr), val)
 }
 
 // PersistStore enqueues a committed store on the asynchronous persist path
@@ -598,18 +716,18 @@ func (h *Hierarchy) PersistStore(core int, addr, val uint64, cycle uint64) (toke
 func (h *Hierarchy) FlushWB(core int, cycle uint64) {
 	lag := uint64(h.p.PersistLag)
 	wb := h.wbs[core]
-	if h.tr != nil && len(wb.entries) > 0 {
+	if h.tr != nil && wb.depth() > 0 {
 		h.tr.Emit(obs.Event{
 			Cycle: cycle,
 			Type:  obs.EvInstant,
 			Core:  core,
 			Name:  "wb-flush",
 			Cat:   "persist",
-			Args:  [obs.MaxEventArgs]obs.Arg{{Key: "entries", Val: int64(len(wb.entries))}},
+			Args:  [obs.MaxEventArgs]obs.Arg{{Key: "entries", Val: int64(wb.depth())}},
 		})
 	}
-	for i := range wb.entries {
-		e := &wb.entries[i]
+	for i := 0; i < wb.n; i++ {
+		e := &wb.buf[(wb.head+i)%len(wb.buf)]
 		if e.ready <= cycle {
 			continue
 		}
@@ -656,21 +774,23 @@ func (h *Hierarchy) Tick(cycle uint64) error {
 	h.dev.Tick(cycle)
 
 	// Demand evictions first: they compete with persists for WPQ slots.
-	if len(h.evictq.lines) > 0 {
-		e := h.evictq.lines[0]
-		ok, err := h.dev.TryAccept(e.line, e.words)
+	if h.evictq.depth() > 0 {
+		e := h.evictq.front()
+		ok, err := h.dev.TryAccept(e.line, &e.words)
 		if err != nil {
 			return fmt.Errorf("hierarchy: eviction of line %#x: %w", e.line, err)
 		}
 		if ok {
-			h.evictq.lines = h.evictq.lines[1:]
 			// The words are durable now; retire them from the volatile
 			// layer unless overwritten since the snapshot.
-			for a, v := range e.words {
-				if cur, ok := h.dirtyWords[a]; ok && cur == v {
-					delete(h.dirtyWords, a)
+			if lw := h.dirty.line(e.line); lw != nil {
+				for s := 0; s < isa.LineWordCount; s++ {
+					if e.words.Mask&lw.Mask&(1<<s) != 0 && lw.Words[s] == e.words.Words[s] {
+						h.dirty.clearSlot(e.line, lw, s)
+					}
 				}
 			}
+			h.evictq.pop()
 		}
 	}
 
@@ -678,19 +798,22 @@ func (h *Hierarchy) Tick(cycle uint64) error {
 	// across cores. A core whose front entry is still in its coalescing
 	// window does not block the others.
 	n := len(h.wbs)
-	maxAccepts := h.dev.Config().Channels
+	maxAccepts := h.channels
 	accepted := 0
+	core := h.wbNext - 1
 	for i := 0; i < n && accepted < maxAccepts; i++ {
-		core := (h.wbNext + i) % n
+		if core++; core == n {
+			core = 0
+		}
 		wb := h.wbs[core]
-		if len(wb.entries) == 0 {
+		if wb.depth() == 0 {
 			continue
 		}
-		e := &wb.entries[0]
+		e := wb.front()
 		if e.ready > cycle {
 			continue
 		}
-		ok, err := h.dev.TryAccept(e.line, e.words)
+		ok, err := h.dev.TryAccept(e.line, &e.words)
 		if err != nil {
 			return fmt.Errorf("hierarchy: core %d persist of line %#x: %w", core, e.line, err)
 		}
@@ -715,7 +838,9 @@ func (h *Hierarchy) Tick(cycle uint64) error {
 			accepted++
 		}
 	}
-	h.wbNext = (h.wbNext + 1) % n
+	if h.wbNext++; h.wbNext >= n {
+		h.wbNext = 0
+	}
 	return nil
 }
 
@@ -725,11 +850,14 @@ func (h *Hierarchy) Tick(cycle uint64) error {
 // number of bytes flushed.
 func (h *Hierarchy) FlushAllDirty() int {
 	n := 0
-	for a, v := range h.dirtyWords {
-		h.dev.Image().WriteWord(a, v)
-		n += isa.WordSize
+	img := h.dev.Image()
+	for base, lw := range h.dirty.lines {
+		lw.Range(base, func(a, v uint64) {
+			img.WriteWord(a, v)
+			n += isa.WordSize
+		})
 	}
-	h.dirtyWords = make(map[uint64]uint64)
+	h.dirty.reset()
 	return n
 }
 
@@ -754,14 +882,14 @@ func (h *Hierarchy) PowerFail() {
 	for i := range h.wbs {
 		h.wbs[i] = newWriteBuffer(h.p.WBEntries, h.p.CoalesceWB)
 	}
-	h.evictq.lines = nil
-	h.dirtyWords = make(map[uint64]uint64)
+	h.evictq.reset()
+	h.dirty.reset()
 	h.dev.PowerFail()
 }
 
 // DirtyWordCount returns the number of volatile (not-yet-durable) words —
 // the data at risk across a power failure.
-func (h *Hierarchy) DirtyWordCount() int { return len(h.dirtyWords) }
+func (h *Hierarchy) DirtyWordCount() int { return h.dirty.words }
 
 // L2MissRate returns the shared SRAM LLC miss rate (the paper quotes L2
 // miss rates when selecting Figure 10's applications).

@@ -8,47 +8,85 @@ type Memory interface {
 	WriteWord(addr uint64, val uint64)
 }
 
-// MapMemory is a sparse word-granular memory. The zero value is ready to use.
+// MapMemory is a sparse word-granular memory. The zero value is ready to
+// use. Storage is line-granular — one LineWords per touched line, plus a
+// one-line cursor — because real traces access memory in same-line runs
+// (store clustering, streaming walks): the common case is an array-slot hit
+// on the cursor's line instead of a per-word map probe.
 type MapMemory struct {
-	words map[uint64]uint64
+	lines    map[uint64]*LineWords
+	words    int // distinct words ever written
+	lastBase uint64
+	last     *LineWords
 }
 
 // NewMapMemory returns an empty sparse memory.
-func NewMapMemory() *MapMemory { return &MapMemory{words: make(map[uint64]uint64)} }
+func NewMapMemory() *MapMemory { return &MapMemory{lines: make(map[uint64]*LineWords)} }
+
+// line returns the LineWords covering addr, or nil if the line was never
+// written, moving the cursor on a hit.
+func (m *MapMemory) line(base uint64) *LineWords {
+	if m.last != nil && m.lastBase == base {
+		return m.last
+	}
+	lw := m.lines[base]
+	if lw != nil {
+		m.last, m.lastBase = lw, base
+	}
+	return lw
+}
 
 // ReadWord returns the word at addr (zero if never written).
 func (m *MapMemory) ReadWord(addr uint64) uint64 {
-	if m.words == nil {
+	lw := m.line(LineAlign(addr))
+	if lw == nil {
 		return 0
 	}
-	return m.words[WordAlign(addr)]
+	v, _ := lw.Get(addr)
+	return v
 }
 
 // WriteWord stores val at addr.
 func (m *MapMemory) WriteWord(addr uint64, val uint64) {
-	if m.words == nil {
-		m.words = make(map[uint64]uint64)
+	base := LineAlign(addr)
+	lw := m.line(base)
+	if lw == nil {
+		if m.lines == nil {
+			m.lines = make(map[uint64]*LineWords)
+		}
+		lw = &LineWords{}
+		m.lines[base] = lw
+		m.last, m.lastBase = lw, base
 	}
-	m.words[WordAlign(addr)] = val
+	s := Slot(WordAlign(addr))
+	if lw.Mask&(1<<s) == 0 {
+		m.words++
+	}
+	lw.Words[s] = val
+	lw.Mask |= 1 << s
 }
 
 // Len returns the number of distinct words ever written.
-func (m *MapMemory) Len() int { return len(m.words) }
+func (m *MapMemory) Len() int { return m.words }
 
 // Snapshot returns a copy of all written words.
 func (m *MapMemory) Snapshot() map[uint64]uint64 {
-	out := make(map[uint64]uint64, len(m.words))
-	for k, v := range m.words {
-		out[k] = v
+	out := make(map[uint64]uint64, m.words)
+	for base, lw := range m.lines {
+		lw.Range(base, func(a, v uint64) { out[a] = v })
 	}
 	return out
 }
 
 // Range calls fn for every written word until fn returns false.
 func (m *MapMemory) Range(fn func(addr, val uint64) bool) {
-	for k, v := range m.words {
-		if !fn(k, v) {
-			return
+	for base, lw := range m.lines {
+		for s := 0; s < LineWordCount; s++ {
+			if lw.Mask&(1<<s) != 0 {
+				if !fn(base+uint64(s)*WordSize, lw.Words[s]) {
+					return
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,64 @@
+package isa
+
+import "math/bits"
+
+// LineWordCount is how many words one cache line holds.
+const LineWordCount = LineSize / WordSize
+
+// LineWords is the payload of one cache line on the persistence path: a
+// fixed slot per word plus an occupancy mask. It replaces the per-line
+// map[uint64]uint64 the write path used to allocate every time a store's
+// line entered the L1D write buffer, the eviction queue, or a WPQ entry —
+// those structures live on the per-cycle hot loop, where a fixed 72-byte
+// value is copied for free and a map is a heap allocation plus hashing.
+//
+// Word addresses within a line are always 8-byte aligned by construction
+// (slot index = offset/WordSize), so the unaligned-address failure mode of
+// the old map representation is unrepresentable here; the device instead
+// validates line alignment at its boundary.
+type LineWords struct {
+	Mask  uint8 // bit i set: slot i holds a value
+	Words [LineWordCount]uint64
+}
+
+// Slot returns the word slot of addr within its line.
+func Slot(addr uint64) int { return int(addr%LineSize) / WordSize }
+
+// Set stores val into the slot covering addr (addr is word-aligned first).
+func (lw *LineWords) Set(addr, val uint64) {
+	s := Slot(WordAlign(addr))
+	lw.Words[s] = val
+	lw.Mask |= 1 << s
+}
+
+// Get returns the value at addr's slot and whether it is occupied.
+func (lw *LineWords) Get(addr uint64) (uint64, bool) {
+	s := Slot(WordAlign(addr))
+	return lw.Words[s], lw.Mask&(1<<s) != 0
+}
+
+// Len returns the number of occupied slots.
+func (lw *LineWords) Len() int { return bits.OnesCount8(lw.Mask) }
+
+// Empty reports whether no slot is occupied.
+func (lw *LineWords) Empty() bool { return lw.Mask == 0 }
+
+// Merge overlays src's occupied slots onto lw (src wins on conflict).
+func (lw *LineWords) Merge(src *LineWords) {
+	for s := 0; s < LineWordCount; s++ {
+		if src.Mask&(1<<s) != 0 {
+			lw.Words[s] = src.Words[s]
+		}
+	}
+	lw.Mask |= src.Mask
+}
+
+// Range calls fn for every occupied slot in ascending address order, with
+// the word's absolute address computed from the line base.
+func (lw *LineWords) Range(line uint64, fn func(addr, val uint64)) {
+	for s := 0; s < LineWordCount; s++ {
+		if lw.Mask&(1<<s) != 0 {
+			fn(line+uint64(s)*WordSize, lw.Words[s])
+		}
+	}
+}

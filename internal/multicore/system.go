@@ -72,6 +72,10 @@ type System struct {
 
 	cycle     uint64
 	lastFlush int
+	// allDone caches "every core retired its trace": it is recomputed by
+	// step()'s existing core loop, so the per-cycle Done() probe in the run
+	// loops costs a field read instead of another walk over the cores.
+	allDone bool
 }
 
 // NewSystemResumed builds a machine around a surviving NVM device (post
@@ -135,7 +139,17 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 		}
 		s.cores = append(s.cores, core)
 	}
+	s.refreshDone() // a resumed system can start with every trace retired
 	return s, nil
+}
+
+// refreshDone recomputes the cached all-cores-done flag from scratch.
+func (s *System) refreshDone() {
+	done := true
+	for _, c := range s.cores {
+		done = done && c.Done()
+	}
+	s.allDone = done
 }
 
 // Cycle returns the current simulation cycle.
@@ -151,14 +165,7 @@ func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
 func (s *System) Device() *nvm.Device { return s.dev }
 
 // Done reports whether every core has retired its whole trace.
-func (s *System) Done() bool {
-	for _, c := range s.cores {
-		if !c.Done() {
-			return false
-		}
-	}
-	return true
-}
+func (s *System) Done() bool { return s.allDone }
 
 // step advances the machine one cycle. A typed memory-system error (state
 // corruption, e.g. an unaligned word reaching the WPQ) aborts the cycle.
@@ -169,9 +176,12 @@ func (s *System) step() error {
 	for _, r := range s.redos {
 		r.Tick(s.cycle)
 	}
+	done := true
 	for _, c := range s.cores {
 		c.Step(s.cycle)
+		done = done && c.Done()
 	}
+	s.allDone = done
 	s.cycle++
 	return nil
 }

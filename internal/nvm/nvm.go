@@ -82,7 +82,7 @@ func (c Config) WithWriteBandwidth(gbps float64) Config {
 // wpqEntry is one pending line write inside the persistence domain.
 type wpqEntry struct {
 	line  uint64
-	words map[uint64]uint64
+	words isa.LineWords
 }
 
 // channel is one memory controller's queue and media state. Only write
@@ -95,11 +95,106 @@ type wpqEntry struct {
 //
 // The write path is WPQ (accept gate, persistence domain) -> WCB (media
 // write-combining buffer, also inside the persistence domain) -> media.
+// The WPQ is a fixed ring (entries at (wpqHead+i)%len(wpq), i < wpqN),
+// allocated lazily at WPQEntries capacity.
 type channel struct {
 	wpq       []wpqEntry
-	wcb       map[uint64]uint64 // line -> last-write stamp (LRW drain order)
-	wcbStamp  uint64
+	wpqHead   int
+	wpqN      int
+	wcb       wcbBuf
 	writeBusy uint64
+}
+
+// wcbBuf is the media write-combining buffer: a fixed-capacity set of
+// resident lines in least-recently-written order. Re-writing a resident
+// line moves it to the back; the drain victim is always the front, so
+// eviction order is identical to the stamp-map this replaces — but finding
+// the victim is O(1) instead of a full map scan per drain, and the node
+// pool makes residency churn allocation-free.
+type wcbBuf struct {
+	idx        map[uint64]int32 // line -> node index
+	nodes      []wcbNode
+	head, tail int32 // LRW list ends (-1 when empty)
+	free       int32 // free-list head through next (-1 when full)
+	n          int
+}
+
+type wcbNode struct {
+	line       uint64
+	prev, next int32
+}
+
+func (b *wcbBuf) init(capacity int) {
+	b.idx = make(map[uint64]int32, capacity)
+	b.nodes = make([]wcbNode, capacity)
+	for i := range b.nodes {
+		b.nodes[i].next = int32(i + 1)
+	}
+	b.nodes[capacity-1].next = -1
+	b.free = 0
+	b.head, b.tail = -1, -1
+}
+
+func (b *wcbBuf) unlink(i int32) {
+	nd := &b.nodes[i]
+	if nd.prev >= 0 {
+		b.nodes[nd.prev].next = nd.next
+	} else {
+		b.head = nd.next
+	}
+	if nd.next >= 0 {
+		b.nodes[nd.next].prev = nd.prev
+	} else {
+		b.tail = nd.prev
+	}
+}
+
+func (b *wcbBuf) pushBack(i int32) {
+	nd := &b.nodes[i]
+	nd.prev, nd.next = b.tail, -1
+	if b.tail >= 0 {
+		b.nodes[b.tail].next = i
+	} else {
+		b.head = i
+	}
+	b.tail = i
+}
+
+// touch moves a resident line to the most-recently-written position,
+// reporting whether the line was resident.
+func (b *wcbBuf) touch(line uint64) bool {
+	i, ok := b.idx[line]
+	if !ok {
+		return false
+	}
+	if b.tail != i {
+		b.unlink(i)
+		b.pushBack(i)
+	}
+	return true
+}
+
+// insert adds a non-resident line at the most-recently-written position.
+// The caller guarantees space (n < capacity).
+func (b *wcbBuf) insert(line uint64) {
+	i := b.free
+	b.free = b.nodes[i].next
+	b.nodes[i].line = line
+	b.pushBack(i)
+	b.idx[line] = i
+	b.n++
+}
+
+// evictOldest removes and returns the least-recently-written line.
+func (b *wcbBuf) evictOldest() uint64 {
+	i := b.head
+	line := b.nodes[i].line
+	b.unlink(i)
+	b.nodes[i].next = b.free
+	b.free = i
+	delete(b.idx, line)
+	b.n--
+	return line
 }
 
 // Device is the NVM main-memory device shared by all cores.
@@ -213,27 +308,54 @@ func (d *Device) ReadAccess(line uint64, cycle uint64) uint64 {
 	return start + uint64(d.cfg.ReadLatency)
 }
 
+// wpqAt returns the i-th queued entry (0 = front) of the channel's ring.
+func (ch *channel) wpqAt(i int) *wpqEntry {
+	return &ch.wpq[(ch.wpqHead+i)%len(ch.wpq)]
+}
+
+// wpqPush appends an entry at the ring's tail, allocating the fixed
+// storage on first use. The caller guarantees space (wpqN < WPQEntries).
+func (ch *channel) wpqPush(capacity int, e wpqEntry) {
+	if ch.wpq == nil {
+		ch.wpq = make([]wpqEntry, capacity)
+	}
+	ch.wpq[(ch.wpqHead+ch.wpqN)%len(ch.wpq)] = e
+	ch.wpqN++
+}
+
+// wpqPop removes the front entry, returning its line. The word payload is
+// already durable in the image, so nothing copies the 72-byte body.
+func (ch *channel) wpqPop() uint64 {
+	line := ch.wpq[ch.wpqHead].line
+	if ch.wpqHead++; ch.wpqHead == len(ch.wpq) {
+		ch.wpqHead = 0
+	}
+	ch.wpqN--
+	return line
+}
+
 // WPQLen returns the total write-pending-queue occupancy across channels.
 func (d *Device) WPQLen() int {
 	n := 0
 	for i := range d.chans {
-		n += len(d.chans[i].wpq)
+		n += d.chans[i].wpqN
 	}
 	return n
 }
 
-// AlignmentError reports a write offered at a non-word-aligned address.
-// Word writes below the line granularity must be 8-byte aligned; an address
-// that is not (e.g. one reconstructed from a corrupted checkpoint) is a
-// protocol violation the device rejects rather than silently rounding —
-// and, since fault injection can synthesize such addresses, it must be an
-// error the caller can handle, never a crash.
+// AlignmentError reports a write offered at a non-line-aligned address.
+// Word slots within a line are 8-byte aligned by construction
+// (isa.LineWords), so the remaining protocol hazard is a line base that is
+// not line-aligned (e.g. one reconstructed from corrupted state). The
+// device rejects it rather than silently rounding — and, since fault
+// injection can synthesize such addresses, it must be an error the caller
+// can handle, never a crash.
 type AlignmentError struct {
 	Addr uint64
 }
 
 func (e *AlignmentError) Error() string {
-	return fmt.Sprintf("nvm: unaligned word address %#x", e.Addr)
+	return fmt.Sprintf("nvm: unaligned line address %#x", e.Addr)
 }
 
 // TryAccept offers one line write (with its dirty word values) to the
@@ -241,37 +363,29 @@ func (e *AlignmentError) Error() string {
 // the image is updated and true is returned. A write whose line is already
 // resident in the WPQ or the media write-combining buffer coalesces
 // without consuming a new entry; otherwise it needs a free WPQ slot.
-// A non-word-aligned address returns a typed *AlignmentError with no state
-// changed.
-func (d *Device) TryAccept(line uint64, words map[uint64]uint64) (bool, error) {
-	for a := range words {
-		if isa.WordAlign(a) != a {
-			return false, &AlignmentError{Addr: a}
-		}
+// A non-line-aligned base address returns a typed *AlignmentError with no
+// state changed.
+func (d *Device) TryAccept(line uint64, words *isa.LineWords) (bool, error) {
+	if isa.LineAlign(line) != line {
+		return false, &AlignmentError{Addr: line}
 	}
 	ch := d.chanOf(line)
 	if d.cfg.CoalesceWPQ {
-		if ch.wcb != nil {
-			if _, ok := ch.wcb[line]; ok {
-				ch.wcbStamp++
-				ch.wcb[line] = ch.wcbStamp
-				d.applyWords(words)
-				d.Coalesced++
-				return true, nil
-			}
+		if ch.wcb.touch(line) {
+			d.applyWords(line, words)
+			d.Coalesced++
+			return true, nil
 		}
-		for i := range ch.wpq {
-			if ch.wpq[i].line == line {
-				for a, v := range words {
-					ch.wpq[i].words[a] = v
-					d.image.WriteWord(a, v)
-				}
+		for i := 0; i < ch.wpqN; i++ {
+			if e := ch.wpqAt(i); e.line == line {
+				e.words.Merge(words)
+				d.applyWords(line, words)
 				d.Coalesced++
 				return true, nil
 			}
 		}
 	}
-	if len(ch.wpq) >= d.cfg.WPQEntries {
+	if ch.wpqN >= d.cfg.WPQEntries {
 		d.RejectedFull++
 		d.wpqRejects.Inc()
 		if d.tr != nil {
@@ -281,27 +395,21 @@ func (d *Device) TryAccept(line uint64, words map[uint64]uint64) (bool, error) {
 				Core:  obs.SystemTrack,
 				Name:  "wpq-reject",
 				Cat:   "persist",
-				Args:  [obs.MaxEventArgs]obs.Arg{{Key: "occupancy", Val: int64(len(ch.wpq))}},
+				Args:  [obs.MaxEventArgs]obs.Arg{{Key: "occupancy", Val: int64(ch.wpqN)}},
 			})
 		}
 		return false, nil
 	}
-	cp := make(map[uint64]uint64, len(words))
-	for a, v := range words {
-		cp[a] = v
-		d.image.WriteWord(a, v)
-	}
-	ch.wpq = append(ch.wpq, wpqEntry{line: line, words: cp})
+	d.applyWords(line, words)
+	ch.wpqPush(d.cfg.WPQEntries, wpqEntry{line: line, words: *words})
 	d.LineWrites++
 	d.BytesWritten += isa.LineSize
-	d.WPQOccupancyX += uint64(len(ch.wpq))
+	d.WPQOccupancyX += uint64(ch.wpqN)
 	return true, nil
 }
 
-func (d *Device) applyWords(words map[uint64]uint64) {
-	for a, v := range words {
-		d.image.WriteWord(a, v)
-	}
+func (d *Device) applyWords(line uint64, words *isa.LineWords) {
+	words.Range(line, func(a, v uint64) { d.image.WriteWord(a, v) })
 }
 
 // Tick advances the device one cycle. Per channel: one WPQ entry may move
@@ -318,31 +426,21 @@ func (d *Device) Tick(cycle uint64) {
 		ch := &d.chans[i]
 
 		// WPQ -> WCB transfer (one per cycle, needs WCB space).
-		if len(ch.wpq) > 0 {
-			if ch.wcb == nil {
-				ch.wcb = make(map[uint64]uint64, d.cfg.WCBEntries)
+		if ch.wpqN > 0 && ch.wcb.n < d.cfg.WCBEntries {
+			if ch.wcb.nodes == nil {
+				ch.wcb.init(d.cfg.WCBEntries)
 			}
-			if len(ch.wcb) < d.cfg.WCBEntries {
-				e := ch.wpq[0]
-				ch.wpq = ch.wpq[1:]
-				ch.wcbStamp++
-				ch.wcb[e.line] = ch.wcbStamp
+			line := ch.wpqPop()
+			if !ch.wcb.touch(line) {
+				ch.wcb.insert(line)
 			}
 		}
 
 		// WCB -> media drain (least recently written first).
-		if len(ch.wcb) <= watermark || ch.writeBusy > cycle {
+		if ch.wcb.n <= watermark || ch.writeBusy > cycle {
 			continue
 		}
-		var victim uint64
-		var oldest uint64 = ^uint64(0)
-		for l, stamp := range ch.wcb {
-			if stamp < oldest {
-				oldest = stamp
-				victim = l
-			}
-		}
-		delete(ch.wcb, victim)
+		victim := ch.wcb.evictOldest()
 		ch.writeBusy = cycle + uint64(d.cfg.WriteDrainCycles)
 		if d.mediaWrites == nil {
 			d.mediaWrites = make(map[uint64]uint64)
@@ -377,7 +475,7 @@ func (d *Device) WornLines() int { return len(d.mediaWrites) }
 func (d *Device) Drained(cycle uint64) bool {
 	for i := range d.chans {
 		ch := &d.chans[i]
-		if len(ch.wpq) > 0 || ch.writeBusy > cycle {
+		if ch.wpqN > 0 || ch.writeBusy > cycle {
 			return false
 		}
 	}

@@ -8,17 +8,17 @@ import (
 	"ppa/internal/isa"
 )
 
-func words(pairs ...uint64) map[uint64]uint64 {
-	m := map[uint64]uint64{}
+func words(pairs ...uint64) *isa.LineWords {
+	lw := &isa.LineWords{}
 	for i := 0; i+1 < len(pairs); i += 2 {
-		m[pairs[i]] = pairs[i+1]
+		lw.Set(pairs[i], pairs[i+1])
 	}
-	return m
+	return lw
 }
 
-// try offers a write whose addresses are known to be aligned, so an
-// alignment error here is a test bug.
-func try(d *Device, line uint64, w map[uint64]uint64) bool {
+// try offers a write whose line is known to be aligned, so an alignment
+// error here is a test bug.
+func try(d *Device, line uint64, w *isa.LineWords) bool {
 	ok, err := d.TryAccept(line, w)
 	if err != nil {
 		panic(err)
@@ -239,11 +239,11 @@ func TestCheckpointArea(t *testing.T) {
 	}
 }
 
-func TestUnalignedWordTypedError(t *testing.T) {
+func TestUnalignedLineTypedError(t *testing.T) {
 	d := NewDevice(DefaultConfig())
-	ok, err := d.TryAccept(0x0, map[uint64]uint64{0x3: 1})
+	ok, err := d.TryAccept(0x3, words(0x0, 1))
 	if ok || err == nil {
-		t.Fatal("unaligned word must be rejected with an error")
+		t.Fatal("unaligned line must be rejected with an error")
 	}
 	var ae *AlignmentError
 	if !errors.As(err, &ae) || ae.Addr != 0x3 {
@@ -365,9 +365,9 @@ func TestWearLevelingSpreadsHotLine(t *testing.T) {
 		// Hammer one line plus a rotating cold line so the WCB keeps
 		// draining the hot line to media.
 		for i := 0; i < 4000; i++ {
-			try(d, 0x0, map[uint64]uint64{0x0: uint64(i)})
+			try(d, 0x0, words(0x0, uint64(i)))
 			coldLine := uint64(1+(i%32)) * 128
-			try(d, coldLine, map[uint64]uint64{coldLine: 1})
+			try(d, coldLine, words(coldLine, 1))
 			for j := 0; j < 6; j++ {
 				d.Tick(cycle)
 				cycle++

@@ -240,6 +240,9 @@ type Core struct {
 	// only at persist acknowledgment (ReplayCache).
 	sqReleases []uint64
 	sqAckToks  []int64
+	// keepScratch is the reusable survivor list for region closes; the
+	// renamer copies what it needs, so the slice never escapes a boundary.
+	keepScratch []rename.PhysRef
 
 	storesInROB int
 
@@ -298,15 +301,22 @@ func New(cfg Config, prog *isa.Program, hier *cache.Hierarchy, redo *persist.Red
 	if cfg.Scheme.UseRedoPath && redo == nil {
 		return nil, fmt.Errorf("pipeline: scheme %s requires a redo path", cfg.Scheme.Kind)
 	}
+	csqCap := cfg.Scheme.CSQEntries
+	if csqCap <= 0 {
+		csqCap = 64
+	}
 	c := &Core{
-		cfg:      cfg,
-		prog:     prog,
-		hier:     hier,
-		redo:     redo,
-		ren:      rename.New(cfg.Rename),
-		rob:      make([]robEntry, cfg.ROBSize),
-		next:     cfg.StartAt,
-		rngState: uint64(cfg.CoreID)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+		cfg:        cfg,
+		prog:       prog,
+		hier:       hier,
+		redo:       redo,
+		ren:        rename.New(cfg.Rename),
+		rob:        make([]robEntry, cfg.ROBSize),
+		sqReleases: make([]uint64, 0, cfg.SQSize),
+		sqAckToks:  make([]int64, 0, cfg.SQSize),
+		csq:        make([]CSQEntry, 0, csqCap),
+		next:       cfg.StartAt,
+		rngState:   uint64(cfg.CoreID)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
 	}
 	c.committed = cfg.StartAt
 	c.front = isa.RunGolden(prog, cfg.StartAt)
@@ -447,7 +457,9 @@ func (c *Core) commitStage(cycle uint64) {
 		if e.op == isa.OpLoad {
 			c.lqCount--
 		}
-		c.robHead = (c.robHead + 1) % len(c.rob)
+		if c.robHead++; c.robHead == len(c.rob) {
+			c.robHead = 0
+		}
 		c.robLen--
 	}
 }
@@ -632,15 +644,29 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 	// Stores that committed during the wait belong to the next region:
 	// keep their CSQ entries and mask bits.
 	survivors := c.csq[c.epochCSQMark:]
-	var keep []rename.PhysRef
+	keep := c.keepScratch[:0]
 	for i := range survivors {
 		if survivors[i].Phys.Valid() {
 			keep = append(keep, survivors[i].Phys)
 		}
 	}
 	c.ren.ReclaimMaskedExcept(keep)
+	c.keepScratch = keep
 	c.csq = append(c.csq[:0], survivors...)
 
+	c.closeRegionStats(cycle, cause, cycle-c.epochArmedAt)
+	c.epochArmed = false
+	c.eagerFlushed = false
+	return true
+}
+
+// closeRegionStats records every per-region measurement for a region ending
+// at cycle — the histogram samples, boundary-cause counts, optional region
+// trace record, and trace events — and resets the open-region counters. It
+// is the single accounting path for both dynamic-region closes
+// (tryEndRegion) and fixed-region closes (endFixedRegion), so the persist
+// schemes cannot silently diverge in what they record.
+func (c *Core) closeRegionStats(cycle uint64, cause BoundaryCause, stall uint64) {
 	c.st.Regions++
 	c.st.BoundaryCounts[cause]++
 	c.st.RegionOther.Add(int64(c.regionInsts - c.regionStores))
@@ -651,17 +677,14 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 			Cause:       cause,
 			Insts:       c.regionInsts,
 			Stores:      c.regionStores,
-			StallCycles: cycle - c.epochArmedAt,
+			StallCycles: stall,
 		})
 	}
 	if c.tr != nil {
-		c.emitRegion(cycle, cause, cycle-c.epochArmedAt)
+		c.emitRegion(cycle, cause, stall)
 	}
 	c.regionInsts = 0
 	c.regionStores = 0
-	c.epochArmed = false
-	c.eagerFlushed = false
-	return true
 }
 
 // emitRegion traces one closed region: the region slice itself, the
@@ -849,15 +872,7 @@ func (c *Core) resolveBoundary(cycle uint64) bool {
 // endFixedRegion records region statistics for schemes whose boundary does
 // not interact with MaskReg/CSQ (Capri).
 func (c *Core) endFixedRegion(cycle uint64) {
-	c.st.Regions++
-	c.st.BoundaryCounts[BoundaryFixed]++
-	c.st.RegionOther.Add(int64(c.regionInsts - c.regionStores))
-	c.st.RegionStores.Add(int64(c.regionStores))
-	if c.tr != nil {
-		c.emitRegion(cycle, BoundaryFixed, 0)
-	}
-	c.regionInsts = 0
-	c.regionStores = 0
+	c.closeRegionStats(cycle, BoundaryFixed, 0)
 }
 
 // dispatch computes the instruction's functional result, schedules its
@@ -905,19 +920,28 @@ func (c *Core) dispatch(in *isa.Inst, phys rename.PhysRef, src1, src2 rename.Phy
 		c.ren.Write(phys, c.front.Regs.Read(in.Dst), complete)
 	}
 
-	e := robEntry{
-		idx:         idx,
-		completeAt:  complete,
-		op:          in.Op,
-		pc:          in.PC,
-		dst:         in.Dst,
-		phys:        phys,
-		addr:        in.Addr,
-		storeVal:    storeVal,
-		srcPhys1:    src1,
-		srcPhys2:    src2,
-		regionStart: regionStart,
+	tail := c.robHead + c.robLen
+	if tail >= len(c.rob) {
+		tail -= len(c.rob)
 	}
+	// The entry is written field by field into its ring slot: a composite
+	// literal of this size is materialized on the stack and block-copied,
+	// which shows up in the cycle-loop profile.
+	e := &c.rob[tail]
+	e.idx = idx
+	e.completeAt = complete
+	e.op = in.Op
+	e.pc = in.PC
+	e.dst = in.Dst
+	e.phys = phys
+	e.addr = in.Addr
+	e.storeVal = storeVal
+	e.dataPhys = rename.PhysRef{}
+	e.srcPhys1 = src1
+	e.srcPhys2 = src2
+	e.persistEnqueued = false
+	e.persistTok = 0
+	e.regionStart = regionStart
 	if in.Op.IsStore() {
 		e.dataPhys = src1
 		c.sqCount++
@@ -926,8 +950,6 @@ func (c *Core) dispatch(in *isa.Inst, phys rename.PhysRef, src1, src2 rename.Phy
 	if in.Op == isa.OpLoad {
 		c.lqCount++
 	}
-	tail := (c.robHead + c.robLen) % len(c.rob)
-	c.rob[tail] = e
 	c.robLen++
 }
 

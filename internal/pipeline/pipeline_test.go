@@ -523,3 +523,59 @@ func TestStructuralInvariantsAcrossSchemes(t *testing.T) {
 		}
 	}
 }
+
+func TestRegionClosePathsRecordIdenticalStats(t *testing.T) {
+	// The dynamic-region close (tryEndRegion) and the fixed-region close
+	// (endFixedRegion) must route through one accounting path: for the same
+	// committed region they record identical histogram samples, the same
+	// region count, and the same trace record shape. This pins the
+	// closeRegionStats extraction — the two persist schemes cannot silently
+	// diverge again.
+	const insts, stores = 120, 30
+	prog := smallProg("gcc", 100)
+
+	dyn, _ := buildCore(t, prog, persist.PPADefault(), func(cfg *Config) {
+		cfg.TraceRegions = true
+	})
+	dyn.regionInsts = insts
+	dyn.regionStores = stores
+	if !dyn.tryEndRegion(500, BoundaryPRF) {
+		t.Fatal("dynamic close must complete with nothing pending")
+	}
+
+	fix, _ := buildCore(t, prog, persist.CapriDefault(), func(cfg *Config) {
+		cfg.TraceRegions = true
+	})
+	fix.regionInsts = insts
+	fix.regionStores = stores
+	fix.endFixedRegion(500)
+
+	for name, c := range map[string]*Core{"dynamic": dyn, "fixed": fix} {
+		st := c.Stats()
+		if st.Regions != 1 {
+			t.Fatalf("%s: regions %d", name, st.Regions)
+		}
+		if st.RegionOther.N() != 1 || st.RegionOther.Mean() != insts-stores {
+			t.Fatalf("%s: RegionOther n=%d mean=%v, want one sample of %d",
+				name, st.RegionOther.N(), st.RegionOther.Mean(), insts-stores)
+		}
+		if st.RegionStores.N() != 1 || st.RegionStores.Mean() != stores {
+			t.Fatalf("%s: RegionStores n=%d mean=%v, want one sample of %d",
+				name, st.RegionStores.N(), st.RegionStores.Mean(), stores)
+		}
+		if len(st.RegionTrace) != 1 {
+			t.Fatalf("%s: %d trace records", name, len(st.RegionTrace))
+		}
+		r := st.RegionTrace[0]
+		if r.EndCycle != 500 || r.Insts != insts || r.Stores != stores {
+			t.Fatalf("%s: trace record %+v", name, r)
+		}
+		if c.regionInsts != 0 || c.regionStores != 0 {
+			t.Fatalf("%s: open-region counters not reset", name)
+		}
+	}
+	if dyn.Stats().BoundaryCounts[BoundaryPRF] != 1 ||
+		fix.Stats().BoundaryCounts[BoundaryFixed] != 1 {
+		t.Fatal("boundary causes misattributed")
+	}
+}

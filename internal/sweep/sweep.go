@@ -1,0 +1,98 @@
+// Package sweep is the bounded parallel worker pool shared by every
+// embarrassingly-parallel experiment loop (torture sweeps, figure sweeps,
+// workload characterization). Each sweep point owns a private simulated
+// system, so the only coordination a sweep needs is index dispatch and
+// ordered result collection — which is exactly what Map provides.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: any positive value is taken
+// as-is, anything else means one worker per available CPU (GOMAXPROCS).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS) and returns the results in index order,
+// so a deterministic sequential loop stays deterministic when parallelized.
+// The first error cancels the shared context, the pool drains, and the
+// error from the lowest failing index is returned. Cancelling ctx stops
+// dispatch and returns ctx's error.
+func Map[T any](ctx context.Context, workers, n int, fn func(context.Context, int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := parent.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx int
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("positive request must be honored")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("non-positive request must resolve to GOMAXPROCS")
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		out, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("%d results", len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn must not run")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("%v %d", err, len(out))
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), 3, 64, func(_ context.Context, i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("concurrency peaked at %d with 3 workers", p)
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("point %d: boom", i) }
+	_, err := Map(context.Background(), 4, 50, func(_ context.Context, i int) (int, error) {
+		if i == 7 || i == 23 {
+			return 0, boom(i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if err.Error() != "point 7: boom" {
+		t.Fatalf("got %v, want the lowest failing index", err)
+	}
+}
+
+func TestMapErrorCancelsRemainingWork(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 2, 10_000, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if n := ran.Load(); n == 10_000 {
+		t.Fatal("failure did not cancel dispatch")
+	}
+}
+
+func TestMapHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 2, 1_000_000, func(ctx context.Context, i int) (int, error) {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+			}
+			return i, nil
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+}

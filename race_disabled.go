@@ -1,0 +1,7 @@
+//go:build !race
+
+package ppa
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_enabled.go.
+const raceEnabled = false

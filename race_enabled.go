@@ -1,0 +1,8 @@
+//go:build race
+
+package ppa
+
+// raceEnabled reports whether the race detector is compiled in. The
+// alloc-ceiling gate skips under -race: the detector's instrumentation
+// allocates, which would charge phantom allocations to the hot loop.
+const raceEnabled = true

@@ -1,13 +1,16 @@
 package ppa
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"ppa/internal/checkpoint"
 	"ppa/internal/fault"
 	"ppa/internal/multicore"
+	"ppa/internal/obs"
 	"ppa/internal/recovery"
+	"ppa/internal/sweep"
 )
 
 // This file implements the crash-consistency torture harness: an
@@ -298,32 +301,81 @@ func RunTorture(rc RunConfig, points []TorturePoint, onPoint func(*TortureOutcom
 		if err != nil {
 			return rep, fmt.Errorf("torture point %v: %w", p, err)
 		}
-		rep.Points++
-		rep.ByKind[p.Fault.Kind.String()]++
-		if out.CompletedBeforeFailure {
-			rep.CompletedBeforeFailure++
-		}
-		if out.Injected {
-			rep.Injected++
-		}
-		if out.Detected {
-			rep.Detected++
-		}
-		if out.Recovered {
-			rep.Recovered++
-		}
-		if out.Violation != "" {
-			rep.Violations = append(rep.Violations, out)
-		}
-		hub.Registry().Counter("torture.points").Inc()
-		if out.Violation != "" {
-			hub.Registry().Counter("torture.violations").Inc()
-		}
-		if onPoint != nil {
-			onPoint(out)
-		}
+		rep.aggregate(hub, p, out, onPoint)
 	}
 	return rep, nil
+}
+
+// RunTortureParallel is RunTorture over a bounded worker pool. Every point
+// runs on a fresh private machine, so points parallelize freely; each
+// worker gets its own observability hub (RunConfig.Obs must not be shared
+// across goroutines), and verdicts are aggregated in point order after the
+// sweep — the report is byte-identical to RunTorture's for the same points,
+// and onPoint still fires in sweep order. workers <= 0 means GOMAXPROCS;
+// workers == 1 is exactly the sequential sweep (including rc.Obs use, so
+// trace-carrying hubs keep working). Cancelling ctx abandons the sweep.
+func RunTortureParallel(ctx context.Context, rc RunConfig, points []TorturePoint, workers int, onPoint func(*TortureOutcome)) (*TortureReport, error) {
+	workers = sweep.Workers(workers)
+	if workers <= 1 || len(points) <= 1 {
+		return RunTorture(rc, points, onPoint)
+	}
+	hub := rc.Obs
+	if hub == nil {
+		hub = DefaultObs
+	}
+	hubs := make(chan *obs.Hub, workers)
+	for i := 0; i < workers; i++ {
+		hubs <- NewObsHub(0)
+	}
+	outs, err := sweep.Map(ctx, workers, len(points), func(_ context.Context, i int) (*TortureOutcome, error) {
+		wh := <-hubs
+		defer func() { hubs <- wh }()
+		prc := rc
+		prc.Obs = wh
+		out, perr := RunTorturePoint(prc, points[i])
+		if perr != nil {
+			return nil, fmt.Errorf("torture point %v: %w", points[i], perr)
+		}
+		return out, nil
+	})
+	rep := &TortureReport{ByKind: make(map[string]int)}
+	if err != nil {
+		return rep, err
+	}
+	for i, out := range outs {
+		rep.aggregate(hub, points[i], out, onPoint)
+	}
+	return rep, nil
+}
+
+// aggregate folds one verdict into the report and fires the per-point
+// callback. It is the single accounting path for the sequential and
+// parallel sweeps, which is what keeps their reports identical.
+func (rep *TortureReport) aggregate(hub *obs.Hub, p TorturePoint, out *TortureOutcome, onPoint func(*TortureOutcome)) {
+	rep.Points++
+	rep.ByKind[p.Fault.Kind.String()]++
+	if out.CompletedBeforeFailure {
+		rep.CompletedBeforeFailure++
+	}
+	if out.Injected {
+		rep.Injected++
+	}
+	if out.Detected {
+		rep.Detected++
+	}
+	if out.Recovered {
+		rep.Recovered++
+	}
+	if out.Violation != "" {
+		rep.Violations = append(rep.Violations, out)
+	}
+	hub.Registry().Counter("torture.points").Inc()
+	if out.Violation != "" {
+		hub.Registry().Counter("torture.violations").Inc()
+	}
+	if onPoint != nil {
+		onPoint(out)
+	}
 }
 
 // ShrinkTorturePoint greedily minimizes a violating point: it repeatedly
