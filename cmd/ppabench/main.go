@@ -41,15 +41,24 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every simulated run (open in chrome://tracing or Perfetto)")
 	metricsPath := flag.String("metrics", "", "write the aggregated metrics registry as JSON Lines")
 	benchJSON := flag.String("benchjson", "", "re-run the hot-loop/throughput/sweep benchmarks and write the trajectory JSON to this path")
+	serveAddr := flag.String("serve", "", "serve live observability over HTTP for the duration of the campaign (endpoints /metrics, /snapshot.json, /trace)")
 	flag.Parse()
 
 	// The figure/table harness assembles machines internally, so tracing
 	// hooks in via the package-level default hub. Every run of the
 	// invocation shares it: counters accumulate, trace cycles restart per
 	// run.
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || *serveAddr != "" {
 		ppa.DefaultObs = obs.NewHub(0)
 		defer exportObs(*tracePath, *metricsPath)
+	}
+	if *serveAddr != "" {
+		srv, err := obs.Serve(*serveAddr, ppa.DefaultObs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("serving observability on http://%s (/metrics /snapshot.json /trace)", srv.Addr())
 	}
 
 	switch {

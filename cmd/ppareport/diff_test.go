@@ -1,0 +1,169 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchOld = `{
+  "schema": "ppa-bench/v1",
+  "host": {"num_cpu": 1},
+  "core_step": [
+    {"app": "gcc", "ns_per_cycle": 100, "allocs_per_cycle": 0.1, "cycles_per_sec": 1e7},
+    {"app": "mcf", "ns_per_cycle": 80, "allocs_per_cycle": 0.1, "cycles_per_sec": 1.25e7}
+  ],
+  "simulator_throughput": {"ns_per_run": 1.5e7, "allocs_per_run": 4000},
+  "torture_sweep": {"parallel_ms": 500, "speedup": 2.0}
+}`
+
+// benchRegressed doubles gcc's per-cycle cost: a 100% regression on a
+// lower-is-better key, past any reasonable threshold.
+const benchRegressed = `{
+  "schema": "ppa-bench/v1",
+  "host": {"num_cpu": 1},
+  "core_step": [
+    {"app": "gcc", "ns_per_cycle": 200, "allocs_per_cycle": 0.1, "cycles_per_sec": 5e6},
+    {"app": "mcf", "ns_per_cycle": 80, "allocs_per_cycle": 0.1, "cycles_per_sec": 1.25e7}
+  ],
+  "simulator_throughput": {"ns_per_run": 1.5e7, "allocs_per_run": 4000},
+  "torture_sweep": {"parallel_ms": 500, "speedup": 2.0}
+}`
+
+func TestDiffDetectsInjectedRegression(t *testing.T) {
+	old := writeFile(t, "old.json", benchOld)
+	bad := writeFile(t, "new.json", benchRegressed)
+	out := filepath.Join(t.TempDir(), "diff.json")
+
+	if code := runDiff([]string{"-threshold-pct", "50", "-out", out, old, bad}); code != 1 {
+		t.Fatalf("runDiff with injected 100%% regression: exit %d, want 1", code)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("-out artifact not written: %v", err)
+	}
+	// The same pair passes when the threshold is looser than the injection.
+	if code := runDiff([]string{"-threshold-pct", "150", old, bad}); code != 0 {
+		t.Fatalf("runDiff with threshold above the regression: exit %d, want 0", code)
+	}
+	// And a self-diff is always clean.
+	if code := runDiff([]string{old, old}); code != 0 {
+		t.Fatalf("self-diff: exit %d, want 0", code)
+	}
+}
+
+func TestDiffSeriesDirections(t *testing.T) {
+	lower := regexp.MustCompile(defaultLowerBetter)
+	higher := regexp.MustCompile(defaultHigherBetter)
+
+	oldS := map[string]float64{
+		"core_step/gcc/ns_per_cycle":   100, // lower-better
+		"core_step/gcc/cycles_per_sec": 1e7, // higher-better
+		"store.commit-to-durable/p99":  40,  // lower-better
+		"region.insts/mean":            300, // info
+		"gone":                         1,
+	}
+	newS := map[string]float64{
+		"core_step/gcc/ns_per_cycle":   140,   // +40% -> regression at 20%
+		"core_step/gcc/cycles_per_sec": 0.7e7, // -30% -> regression at 20%
+		"store.commit-to-durable/p99":  44,    // +10% -> ok
+		"region.insts/mean":            900,   // info: never gated
+		"fresh":                        1,
+	}
+	rep := diffSeries(oldS, newS, 20, lower, higher)
+
+	want := map[string]bool{
+		"core_step/gcc/ns_per_cycle":   true,
+		"core_step/gcc/cycles_per_sec": true,
+		"store.commit-to-durable/p99":  false,
+		"region.insts/mean":            false,
+	}
+	if rep.Regressions != 2 {
+		t.Errorf("regressions = %d, want 2", rep.Regressions)
+	}
+	for _, r := range rep.Rows {
+		if r.Regression != want[r.Key] {
+			t.Errorf("%s: regression = %v, want %v (delta %+.1f%%, dir %s)",
+				r.Key, r.Regression, want[r.Key], r.DeltaPct, r.Direction)
+		}
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "gone" {
+		t.Errorf("OnlyOld = %v, want [gone]", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "fresh" {
+		t.Errorf("OnlyNew = %v, want [fresh]", rep.OnlyNew)
+	}
+}
+
+func TestDiffZeroBaselineNeverGates(t *testing.T) {
+	lower := regexp.MustCompile(defaultLowerBetter)
+	higher := regexp.MustCompile(defaultHigherBetter)
+	rep := diffSeries(
+		map[string]float64{"torture.violations": 0},
+		map[string]float64{"torture.violations": 3},
+		20, lower, higher)
+	if rep.Regressions != 0 {
+		t.Errorf("zero-baseline key gated: %+v", rep.Rows)
+	}
+}
+
+func TestLoadSeriesFormats(t *testing.T) {
+	snap := writeFile(t, "snap.json", `[
+  {"name": "torture.points", "kind": "counter", "value": 100},
+  {"name": "region.insts", "kind": "histogram", "value": 0,
+   "count": 4, "sum": 1200, "min": 100, "max": 500,
+   "p50": 280, "p95": 480, "p99": 500}
+]`)
+	s, err := loadSeries(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["torture.points"] != 100 {
+		t.Errorf("counter = %v, want 100", s["torture.points"])
+	}
+	if s["region.insts/count"] != 4 || s["region.insts/mean"] != 300 || s["region.insts/p99"] != 500 {
+		t.Errorf("histogram flatten = %v", s)
+	}
+
+	jsonl := writeFile(t, "metrics.jsonl",
+		`{"name": "a", "kind": "counter", "value": 1}`+"\n"+
+			`{"name": "b|core=0", "kind": "gauge", "value": 2}`+"\n")
+	s, err = loadSeries(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["a"] != 1 || s["b|core=0"] != 2 {
+		t.Errorf("jsonl flatten = %v", s)
+	}
+
+	bench := writeFile(t, "bench.json", benchOld)
+	s, err = loadSeries(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["core_step/gcc/ns_per_cycle"] != 100 {
+		t.Errorf("bench flatten missing core_step/gcc/ns_per_cycle: %v", s)
+	}
+	if s["simulator_throughput/allocs_per_run"] != 4000 {
+		t.Errorf("bench flatten missing simulator_throughput/allocs_per_run: %v", s)
+	}
+	if _, ok := s["host/num_cpu"]; ok {
+		t.Error("host metadata must not be diffed")
+	}
+
+	if _, err := loadSeries(writeFile(t, "bad.json", `{"schema": "other/v9"}`)); err == nil {
+		t.Error("unsupported schema accepted")
+	}
+	if _, err := loadSeries(writeFile(t, "empty.json", "")); err == nil {
+		t.Error("empty file accepted")
+	}
+}

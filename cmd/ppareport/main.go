@@ -10,6 +10,12 @@
 //
 //	ppasim -app mcf -scheme ppa -trace out.json
 //	ppareport -trace out.json
+//
+// The diff subcommand compares two performance snapshots (benchmark
+// trajectories, metric snapshots, or metric JSON Lines) and exits non-zero
+// when a gated key regresses past the threshold:
+//
+//	ppareport diff -threshold-pct 50 BENCH_PR3.json bench-now.json
 package main
 
 import (
@@ -29,6 +35,9 @@ var (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ppareport: ")
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	flag.Parse()
 
 	if *tracePath != "" {

@@ -25,6 +25,16 @@ type causeAgg struct {
 	cycles  uint64 // region durations
 }
 
+// barrierAgg accumulates region-barrier slices per boundary cause, splitting
+// the stall into the distinct persist-drain wait (cycles the boundary sat
+// armed waiting for the region's stores to reach the durability point,
+// from the event's "drain" arg) and everything else.
+type barrierAgg struct {
+	waits  int
+	cycles uint64 // total barrier stall
+	drain  uint64 // of which: persist-drain wait
+}
+
 // reportTrace reads a Chrome trace_event file and prints the per-region
 // stall breakdown: for every (core, boundary cause), how many regions
 // formed, their mean size, and how much of the run their barriers stalled —
@@ -41,6 +51,15 @@ func reportTrace(w io.Writer, path string) error {
 	}
 
 	aggs := map[causeKey]*causeAgg{}
+	barrierByCause := map[int64]*barrierAgg{}
+	// Traces written with -trace-spans carry regions as Begin/End pairs
+	// instead of complete slices; the Begin keeps the args, the End closes
+	// the duration. openSpans pairs them up per core.
+	type openSpan struct {
+		key   causeKey
+		start uint64
+	}
+	openSpans := map[int]openSpan{}
 	var drains, drainedStores, wpqRejects, barriers int
 	var barrierCycles uint64
 	var lastCycle uint64
@@ -50,6 +69,13 @@ func reportTrace(w io.Writer, path string) error {
 		}
 		switch ev.Name {
 		case "region":
+			if ev.Type == obs.EvEnd {
+				if open, ok := openSpans[ev.Core]; ok {
+					aggs[open.key].cycles += ev.Cycle - open.start
+					delete(openSpans, ev.Core)
+				}
+				continue
+			}
 			k := causeKey{core: ev.Core}
 			a := causeAgg{regions: 1, cycles: ev.Dur}
 			for _, arg := range ev.Args {
@@ -73,9 +99,29 @@ func reportTrace(w io.Writer, path string) error {
 			} else {
 				aggs[k] = &a
 			}
+			if ev.Type == obs.EvBegin {
+				openSpans[ev.Core] = openSpan{key: k, start: ev.Cycle}
+			}
 		case "region-barrier":
 			barriers++
 			barrierCycles += ev.Dur
+			var cause, drain int64
+			for _, arg := range ev.Args {
+				switch arg.Key {
+				case "cause":
+					cause = arg.Val
+				case "drain":
+					drain = arg.Val
+				}
+			}
+			b := barrierByCause[cause]
+			if b == nil {
+				b = &barrierAgg{}
+				barrierByCause[cause] = b
+			}
+			b.waits++
+			b.cycles += ev.Dur
+			b.drain += uint64(drain)
 		case "persist-drain":
 			drains++
 			for _, arg := range ev.Args {
@@ -115,6 +161,32 @@ func reportTrace(w io.Writer, path string) error {
 				k.core, pipeline.BoundaryCause(k.cause), a.regions,
 				float64(a.insts)/n, float64(a.stores)/n, float64(a.cycles)/n,
 				a.stall, float64(a.stall)/n)
+		}
+		tw.Flush()
+	}
+
+	if len(barrierByCause) > 0 {
+		fmt.Fprintf(w, "\n## Barrier stalls by cause\n\n")
+		fmt.Fprintln(w, "The persist-drain column is the subset of barrier stall cycles spent")
+		fmt.Fprintln(w, "waiting for the region's stores to become durable (WPQ accept); the")
+		fmt.Fprintln(w, "rest is redo replay, CSQ checkpointing, and acknowledgment latency.")
+		fmt.Fprintln(w)
+		causes := make([]int64, 0, len(barrierByCause))
+		for c := range barrierByCause {
+			causes = append(causes, c)
+		}
+		sort.Slice(causes, func(i, j int) bool { return causes[i] < causes[j] })
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "cause\twaits\tstall-cycles\tpersist-drain\tother\tdrain%")
+		for _, c := range causes {
+			b := barrierByCause[c]
+			other := b.cycles - b.drain
+			pct := 0.0
+			if b.cycles > 0 {
+				pct = float64(b.drain) / float64(b.cycles) * 100
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.1f%%\n",
+				pipeline.BoundaryCause(c), b.waits, b.cycles, b.drain, other, pct)
 		}
 		tw.Flush()
 	}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppa/internal/obs"
+)
+
+// tortureTraceEvents is a minimal two-region stream with a barrier slice
+// carrying the persist-drain split.
+func tortureTraceEvents() []obs.Event {
+	return []obs.Event{
+		{Cycle: 0, Dur: 100, Type: obs.EvComplete, Core: 0, Name: "region", Cat: "region",
+			Args: [obs.MaxEventArgs]obs.Arg{{Key: "cause", Val: 1}, {Key: "insts", Val: 300}, {Key: "stall", Val: 0}, {Key: "stores", Val: 20}}},
+		{Cycle: 100, Dur: 80, Type: obs.EvComplete, Core: 0, Name: "region", Cat: "region",
+			Args: [obs.MaxEventArgs]obs.Arg{{Key: "cause", Val: 1}, {Key: "insts", Val: 200}, {Key: "stall", Val: 12}, {Key: "stores", Val: 10}}},
+		{Cycle: 168, Dur: 12, Type: obs.EvComplete, Core: 0, Name: "region-barrier", Cat: "persist",
+			Args: [obs.MaxEventArgs]obs.Arg{{Key: "cause", Val: 1}, {Key: "drain", Val: 9}}},
+	}
+}
+
+func writeTraceFile(t *testing.T, name string, events []obs.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReportTraceSpanEquivalence: a span-expanded trace (-trace-spans) must
+// report the same region breakdown as the plain complete-slice trace.
+func TestReportTraceSpanEquivalence(t *testing.T) {
+	events := tortureTraceEvents()
+	plain := writeTraceFile(t, "plain.json", events)
+	spans := writeTraceFile(t, "spans.json", obs.ExpandRegionSpans(events))
+
+	var plainOut, spansOut bytes.Buffer
+	if err := reportTrace(&plainOut, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := reportTrace(&spansOut, spans); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the header (input path and event count — span expansion
+	// legitimately adds events) before comparing the analysis itself.
+	trim := func(b bytes.Buffer) string {
+		s := b.String()
+		if i := bytes.Index(b.Bytes(), []byte("## ")); i >= 0 {
+			s = s[i:]
+		}
+		return s
+	}
+	if trim(plainOut) != trim(spansOut) {
+		t.Errorf("span trace report differs from plain:\n--- plain\n%s--- spans\n%s",
+			trim(plainOut), trim(spansOut))
+	}
+	for _, want := range []string{"persist-drain", "csq-full", "9"} {
+		if !bytes.Contains(plainOut.Bytes(), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, plainOut.String())
+		}
+	}
+}

@@ -53,7 +53,9 @@ func main() {
 	configPath := flag.String("config", "", "JSON machine-config override file (see ppa.DefaultMachineConfigJSON)")
 	dumpConfig := flag.Bool("dump-config", false, "print the default machine config as JSON and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+	traceSpans := flag.Bool("trace-spans", false, "with -trace: export region lifetimes as Begin/End span pairs so barrier slices nest inside them in Perfetto")
 	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot as JSON Lines")
+	serveAddr := flag.String("serve", "", "serve live observability over HTTP at this address (endpoints /metrics, /snapshot.json, /trace); the process keeps serving after the run until interrupted")
 	flag.Parse()
 
 	if *dumpConfig {
@@ -99,7 +101,7 @@ func main() {
 	// simulation, not after.
 	var hub *obs.Hub
 	var traceFile, metricsFile *os.File
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || *serveAddr != "" {
 		hub = obs.NewHub(0)
 		var err error
 		if *tracePath != "" {
@@ -112,6 +114,13 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	}
+	if *serveAddr != "" {
+		srv, err := obs.Serve(*serveAddr, hub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving observability on http://%s (/metrics /snapshot.json /trace)", srv.Addr())
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -141,7 +150,7 @@ func main() {
 	tw.Flush()
 
 	if traceFile != nil {
-		if err := writeTrace(traceFile, hub); err != nil {
+		if err := writeTrace(traceFile, hub, *traceSpans); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -150,12 +159,20 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *serveAddr != "" {
+		log.Printf("run complete; still serving on %s — Ctrl-C to exit", *serveAddr)
+		select {}
+	}
 }
 
 // writeTrace exports the hub's ring buffer as a Chrome trace_event file.
-func writeTrace(f *os.File, hub *obs.Hub) error {
+func writeTrace(f *os.File, hub *obs.Hub, spans bool) error {
 	tr := hub.Tracer()
-	if err := obs.WriteChromeTrace(f, tr.Events()); err != nil {
+	events := tr.Events()
+	if spans {
+		events = obs.ExpandRegionSpans(events)
+	}
+	if err := obs.WriteChromeTrace(f, events); err != nil {
 		return err
 	}
 	if d := tr.Dropped(); d > 0 {

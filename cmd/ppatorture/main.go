@@ -41,11 +41,20 @@ func main() {
 	reproPath := flag.String("repro", "", "path for the shrunk reproducer JSON written on violation (default ppatorture-repro.json)")
 	replayPath := flag.String("replay", "", "replay a saved reproducer JSON and exit")
 	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot as JSON Lines")
+	serveAddr := flag.String("serve", "", "serve live observability over HTTP for the duration of the sweep (endpoints /metrics, /snapshot.json, /trace); torture.points/violations tick live, per-worker simulator metrics merge in at sweep end")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print every point's verdict")
 	flag.Parse()
 
 	hub := ppa.NewObsHub(0)
+	if *serveAddr != "" {
+		srv, err := ppa.ServeObs(*serveAddr, hub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("serving observability on http://%s (/metrics /snapshot.json /trace)", srv.Addr())
+	}
 	rc := ppa.RunConfig{
 		App:            *appFlag,
 		Scheme:         ppa.Scheme(*schemeFlag),

@@ -114,6 +114,14 @@ type wbEntry struct {
 	words  isa.LineWords
 	ready  uint64 // cycle at which it may enter the WPQ
 	stores int    // coalesced store count (for the persist counter)
+
+	// Commit-cycle stamps for persist-lifetime attribution: the cycle the
+	// opening store committed and the sum over every coalesced store. The
+	// ring keeps no per-store records, so WPQ accept attributes the drain
+	// latency exactly to the opener (the longest-waiting store, which is
+	// what the tail quantiles care about) and by mean to the rest.
+	commitFirst uint64
+	commitSum   uint64
 }
 
 // writeBuffer is the per-core persist path between L1D and the WPQ. Its
@@ -176,12 +184,13 @@ func (w *writeBuffer) front() *wbEntry { return &w.buf[w.head] }
 // therefore opens a fresh entry, and Tick's pending -= stores reads a
 // count no later store can inflate. The coalesce-at-ready-boundary test in
 // cache_test.go pins this.
-func (w *writeBuffer) add(line, addr, val uint64, ready uint64) (token int64, ok bool) {
+func (w *writeBuffer) add(line, addr, val uint64, ready, commit uint64) (token int64, ok bool) {
 	if w.coalesce {
 		if seq, hit := w.index[line]; hit {
 			e := w.at(seq)
 			e.words.Set(addr, val)
 			e.stores++
+			e.commitSum += commit
 			w.pending++
 			w.CoalescedStores++
 			return seq, true
@@ -193,7 +202,7 @@ func (w *writeBuffer) add(line, addr, val uint64, ready uint64) (token int64, ok
 	seq := w.appended
 	w.appended++
 	e := &w.buf[(w.head+w.n)%len(w.buf)]
-	*e = wbEntry{seq: seq, line: line, ready: ready, stores: 1}
+	*e = wbEntry{seq: seq, line: line, ready: ready, stores: 1, commitFirst: commit, commitSum: commit}
 	e.words.Set(addr, val)
 	w.n++
 	if w.coalesce {
@@ -366,9 +375,11 @@ type Hierarchy struct {
 	Invalidations  uint64
 
 	// Observability (all nil-safe when disabled).
-	tr           *obs.Tracer
-	ackedStores  *obs.Counter
-	drainedLines *obs.Counter
+	tr              *obs.Tracer
+	ackedStores     *obs.Counter
+	drainedLines    *obs.Counter
+	commitToDurable *obs.Histogram
+	drainBatch      *obs.Histogram
 }
 
 // New builds the hierarchy over the given NVM device. warmResident and
@@ -419,6 +430,8 @@ func (h *Hierarchy) SetObs(hub *obs.Hub) {
 	reg := hub.Registry()
 	h.ackedStores = reg.Counter("persist.acked-stores")
 	h.drainedLines = reg.Counter("persist.drained-lines")
+	h.commitToDurable = reg.Histogram("store.commit-to-durable-cycles")
+	h.drainBatch = reg.Histogram("persist.drain-batch-stores")
 	reg.BindGaugeFunc("persist.wb-pending", func() float64 {
 		n := 0
 		for _, wb := range h.wbs {
@@ -707,7 +720,7 @@ func (h *Hierarchy) StoreData(addr, val uint64) {
 func (h *Hierarchy) PersistStore(core int, addr, val uint64, cycle uint64) (token int64, ok bool) {
 	a := isa.WordAlign(addr)
 	ready := cycle + uint64(h.p.PersistTransit) + uint64(h.p.PersistLag)
-	return h.wbs[core].add(isa.LineAlign(a), a, val, ready)
+	return h.wbs[core].add(isa.LineAlign(a), a, val, ready, cycle)
 }
 
 // FlushWB removes the lazy-coalescing lag from every pending persist of a
@@ -821,6 +834,18 @@ func (h *Hierarchy) Tick(cycle uint64) error {
 			wb.pending -= e.stores
 			h.drainedLines.Inc()
 			h.ackedStores.Add(uint64(e.stores))
+			if h.commitToDurable != nil {
+				// WPQ accept is the durability point (ADR domain). The
+				// opening store is attributed exactly — it waited longest,
+				// so the tail quantiles are exact — and the coalesced rest
+				// by their mean commit cycle.
+				h.commitToDurable.Observe(float64(cycle - e.commitFirst))
+				if k := uint64(e.stores); k > 1 {
+					mean := (e.commitSum - e.commitFirst) / (k - 1)
+					h.commitToDurable.ObserveN(float64(cycle-mean), k-1)
+				}
+				h.drainBatch.Observe(float64(e.stores))
+			}
 			if h.tr != nil {
 				h.tr.Emit(obs.Event{
 					Cycle: cycle,

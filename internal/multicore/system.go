@@ -309,6 +309,15 @@ func (s *System) CrashWithOptions(opt CrashOptions) *CrashReport {
 		})
 	}
 	rep := &CrashReport{Images: images, FullBytes: len(blob), StructuresCovered: -1}
+	// Checkpoint-size distribution across crashes: the torture sweep crashes
+	// thousands of times per run, and the per-core byte histogram is the
+	// evidence behind the paper's ~2 KB dump-size claim.
+	if reg := s.cfg.Obs.Registry(); reg != nil {
+		ckptBytes := reg.Histogram("checkpoint.bytes")
+		for _, sz := range sizes {
+			ckptBytes.Observe(float64(sz))
+		}
+	}
 	if opt.CheckpointEnergyUJ > 0 {
 		budget := power.CheckpointBudget{
 			CapacityUJ:      opt.CheckpointEnergyUJ,

@@ -228,6 +228,7 @@ type Device struct {
 	// hierarchy calls it from the same cycle's Tick).
 	tr         *obs.Tracer
 	wpqRejects *obs.Counter
+	wpqAtWrite *obs.Histogram
 	now        uint64
 }
 
@@ -275,6 +276,7 @@ func (d *Device) SetObs(hub *obs.Hub) {
 	d.tr = hub.Tracer()
 	reg := hub.Registry()
 	d.wpqRejects = reg.Counter("nvm.wpq-rejects")
+	d.wpqAtWrite = reg.Histogram("nvm.wpq-occupancy-at-accept")
 	reg.BindGaugeFunc("nvm.line-writes", func() float64 { return float64(d.LineWrites) })
 	reg.BindGaugeFunc("nvm.coalesced", func() float64 { return float64(d.Coalesced) })
 	reg.BindGaugeFunc("nvm.media-writes", func() float64 { return float64(d.MediaWrites) })
@@ -405,6 +407,9 @@ func (d *Device) TryAccept(line uint64, words *isa.LineWords) (bool, error) {
 	d.LineWrites++
 	d.BytesWritten += isa.LineSize
 	d.WPQOccupancyX += uint64(ch.wpqN)
+	// Distribution companion to the WPQOccupancyX running average: how full
+	// the channel's queue was when this write became durable.
+	d.wpqAtWrite.Observe(float64(ch.wpqN))
 	return true, nil
 }
 

@@ -36,3 +36,38 @@ func BenchmarkCounterEnabled(b *testing.B) {
 		c.Inc()
 	}
 }
+
+// BenchmarkHistogramObserveDisabled measures the nil-histogram no-op path —
+// what every instrumented persist-path site costs with observability off.
+// TestCoreStepAllocCeiling's 0.25 allocs/cycle budget rides on this staying
+// free of allocation and branch-only.
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+// BenchmarkHistogramObserveEnabled measures one locked bucketed observation.
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+// BenchmarkHistogramQuantile measures a p99 read over a populated histogram,
+// the per-scrape cost of each /metrics summary line.
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100_000; i++ {
+		h.Observe(float64(i % 10_000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Quantile(0.99) == 0 {
+			b.Fatal("q99 = 0")
+		}
+	}
+}

@@ -202,6 +202,52 @@ func ReadChromeTrace(r io.Reader) ([]Event, error) {
 	return out, nil
 }
 
+// ExpandRegionSpans returns a copy of events in which every complete-slice
+// event named "region" is replaced by an explicit Begin/End pair spanning
+// the same cycles. Perfetto renders a complete ("X") slice and the events
+// stamped inside its interval as unrelated siblings; a B/E pair makes the
+// region an enclosing span, so barrier slices and persist drains nest
+// visually inside the region that incurred them. The result is ordered by
+// cycle; adjacent regions abut (one ends on the cycle the next begins), so
+// End events sort before Begin events on the same cycle to keep the spans
+// well-nested rather than overlapping.
+func ExpandRegionSpans(events []Event) []Event {
+	out := make([]Event, 0, len(events)+len(events)/4)
+	for _, ev := range events {
+		if ev.Type != EvComplete || ev.Name != "region" {
+			out = append(out, ev)
+			continue
+		}
+		begin := ev
+		begin.Type = EvBegin
+		begin.Dur = 0
+		out = append(out, begin, Event{
+			Cycle: ev.Cycle + ev.Dur,
+			Type:  EvEnd,
+			Core:  ev.Core,
+			Name:  ev.Name,
+			Cat:   ev.Cat,
+		})
+	}
+	rank := func(t EventType) int {
+		switch t {
+		case EvEnd:
+			return 0
+		case EvBegin:
+			return 2
+		default:
+			return 1
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return rank(out[i].Type) < rank(out[j].Type)
+	})
+	return out
+}
+
 // WriteEventsJSONL writes one trace_event JSON object per line (no
 // envelope) — convenient for grep/jq pipelines.
 func WriteEventsJSONL(w io.Writer, events []Event) error {

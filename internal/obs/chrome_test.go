@@ -106,3 +106,86 @@ func TestWriteEventsJSONL(t *testing.T) {
 		t.Fatalf("first line: %s", lines[0])
 	}
 }
+
+// spanEvents is a stream with two abutting regions (region 1 ends on the
+// cycle region 2 begins) plus a barrier slice and an instant inside the
+// second region — the nesting the span expansion exists to express.
+func spanEvents() []Event {
+	return []Event{
+		{Cycle: 0, Dur: 100, Type: EvComplete, Core: 0, Name: "region", Cat: "region",
+			Args: [MaxEventArgs]Arg{{Key: "cause", Val: 1}, {Key: "insts", Val: 300}}},
+		{Cycle: 100, Dur: 80, Type: EvComplete, Core: 0, Name: "region", Cat: "region",
+			Args: [MaxEventArgs]Arg{{Key: "cause", Val: 0}, {Key: "insts", Val: 250}}},
+		{Cycle: 168, Dur: 12, Type: EvComplete, Core: 0, Name: "region-barrier", Cat: "persist",
+			Args: [MaxEventArgs]Arg{{Key: "cause", Val: 0}, {Key: "drain", Val: 9}}},
+		{Cycle: 150, Type: EvInstant, Core: 0, Name: "persist-drain", Cat: "persist"},
+	}
+}
+
+func TestExpandRegionSpansGolden(t *testing.T) {
+	events := ExpandRegionSpans(spanEvents())
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_spans.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("span expansion drifted from golden file:\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestExpandRegionSpansNesting checks the structural invariants directly:
+// every region becomes a balanced B/E pair, the End of an earlier region
+// sorts before the Begin of the one abutting it, and non-region events
+// survive untouched in cycle order.
+func TestExpandRegionSpansNesting(t *testing.T) {
+	events := ExpandRegionSpans(spanEvents())
+
+	depth := 0
+	var lastCycle uint64
+	begins, ends, others := 0, 0, 0
+	for i, ev := range events {
+		if ev.Cycle < lastCycle {
+			t.Fatalf("event %d out of cycle order: %d after %d", i, ev.Cycle, lastCycle)
+		}
+		lastCycle = ev.Cycle
+		switch {
+		case ev.Name == "region" && ev.Type == EvBegin:
+			begins++
+			depth++
+			if depth > 1 {
+				t.Fatalf("event %d: overlapping region spans (depth %d) — abutting regions must close before opening", i, depth)
+			}
+			if ev.Dur != 0 {
+				t.Fatalf("event %d: Begin kept Dur %d", i, ev.Dur)
+			}
+		case ev.Name == "region" && ev.Type == EvEnd:
+			ends++
+			depth--
+			if depth < 0 {
+				t.Fatalf("event %d: End without Begin", i)
+			}
+		case ev.Name == "region":
+			t.Fatalf("event %d: region survived as %v", i, ev.Type)
+		default:
+			others++
+		}
+	}
+	if begins != 2 || ends != 2 || depth != 0 {
+		t.Fatalf("begins=%d ends=%d depth=%d, want 2/2/0", begins, ends, depth)
+	}
+	if others != 2 {
+		t.Fatalf("non-region events = %d, want 2", others)
+	}
+}

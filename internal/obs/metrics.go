@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -52,20 +53,65 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram tracks count/sum/min/max of observations. A nil Histogram
-// discards updates.
+// Histogram bucket layout: HDR-style base-2 buckets with histSubBuckets
+// linear sub-buckets per power of two. Values below histSubBuckets land in
+// exact unit buckets; above that, each octave is split into histSubBuckets
+// equal slices, bounding the relative quantile error at
+// 1/histSubBuckets (12.5%). The fixed bucket array keeps Observe
+// allocation-free, which the simulator's hot loops rely on.
+const (
+	histSubBits    = 3
+	histSubBuckets = 1 << histSubBits
+	histNumBuckets = (64-histSubBits)*histSubBuckets + histSubBuckets
+)
+
+// histBucket maps a value to its bucket index.
+func histBucket(v uint64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	e := uint(bits.Len64(v)) - 1
+	g := e - histSubBits + 1
+	sub := (v >> (e - histSubBits)) & (histSubBuckets - 1)
+	return int(g)<<histSubBits | int(sub)
+}
+
+// histBucketUpper returns the largest value that maps to bucket i.
+func histBucketUpper(i int) uint64 {
+	if i < histSubBuckets {
+		return uint64(i)
+	}
+	g := uint(i) >> histSubBits
+	sub := uint64(i) & (histSubBuckets - 1)
+	e := g + histSubBits - 1
+	return 1<<e + (sub+1)<<(e-histSubBits) - 1
+}
+
+// Histogram tracks count/sum/min/max plus a bucketed distribution of
+// observations, so snapshots can report quantiles (p50/p95/p99). Values are
+// clamped to non-negative integers — the simulator observes cycle counts. A
+// nil Histogram discards updates.
 type Histogram struct {
-	mu    sync.Mutex
-	count uint64
-	sum   float64
-	min   float64
-	max   float64
+	mu      sync.Mutex
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histNumBuckets]uint64
 }
 
 // Observe records one observation.
-func (h *Histogram) Observe(v float64) {
-	if h == nil {
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n identical observations in one locked update, which is
+// what the persist path uses to attribute a drained line's latency to every
+// store coalesced into it.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 {
 		return
+	}
+	if v < 0 {
+		v = 0
 	}
 	h.mu.Lock()
 	if h.count == 0 || v < h.min {
@@ -74,8 +120,80 @@ func (h *Histogram) Observe(v float64) {
 	if h.count == 0 || v > h.max {
 		h.max = v
 	}
-	h.count++
-	h.sum += v
+	h.count += n
+	h.sum += v * float64(n)
+	h.buckets[histBucket(uint64(v))] += n
+	h.mu.Unlock()
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (relative
+// error <= 12.5%), clamped into [min, max]. It returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		if cum >= rank {
+			v := float64(histBucketUpper(i))
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// merge folds src's distribution into h. src's state is copied out under its
+// own lock first, so concurrent merges between distinct histograms cannot
+// deadlock.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	count, sum, mn, mx := src.count, src.sum, src.min, src.max
+	buckets := src.buckets
+	src.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || mn < h.min {
+		h.min = mn
+	}
+	if h.count == 0 || mx > h.max {
+		h.max = mx
+	}
+	h.count += count
+	h.sum += sum
+	for i := range buckets {
+		h.buckets[i] += buckets[i]
+	}
 	h.mu.Unlock()
 }
 
@@ -100,13 +218,6 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return h.sum / float64(h.count)
-}
-
-// snapshot returns count, sum, min, max atomically.
-func (h *Histogram) snapshot() (uint64, float64, float64, float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count, h.sum, h.min, h.max
 }
 
 // metricKind tags a registry entry.
@@ -283,18 +394,32 @@ type Sample struct {
 	Sum   float64 `json:"sum,omitempty"`
 	Min   float64 `json:"min,omitempty"`
 	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
 }
 
 // Snapshot returns every metric's current state, sorted by name. Gauge
 // functions are invoked, so call only while the instrumented system is
 // quiescent.
-func (r *Registry) Snapshot() []Sample {
+func (r *Registry) Snapshot() []Sample { return r.snapshot(true) }
+
+// SnapshotLive is Snapshot minus gauge-function metrics. Gauge functions
+// read live simulator state without synchronization, so this is the variant
+// the HTTP serve path uses while a run is in flight; counters, gauges, and
+// histograms are atomic/mutex-protected and always safe to read.
+func (r *Registry) SnapshotLive() []Sample { return r.snapshot(false) }
+
+func (r *Registry) snapshot(gaugeFuncs bool) []Sample {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.metrics))
 	for n := range r.metrics {
+		if !gaugeFuncs && r.metrics[n].kind == kindGaugeFunc {
+			continue
+		}
 		names = append(names, n)
 	}
 	ms := make([]*metric, 0, len(names))
@@ -316,15 +441,57 @@ func (r *Registry) Snapshot() []Sample {
 		case kindGaugeFunc:
 			s.Value = m.fn()
 		case kindHistogram:
-			count, sum, min, max := m.hist.snapshot()
-			s.Count, s.Sum, s.Min, s.Max = count, sum, min, max
-			if count > 0 {
-				s.Value = sum / float64(count)
+			h := m.hist
+			h.mu.Lock()
+			s.Count, s.Sum, s.Min, s.Max = h.count, h.sum, h.min, h.max
+			s.P50 = h.quantileLocked(0.50)
+			s.P95 = h.quantileLocked(0.95)
+			s.P99 = h.quantileLocked(0.99)
+			h.mu.Unlock()
+			if s.Count > 0 {
+				s.Value = s.Sum / float64(s.Count)
 			}
 		}
 		out = append(out, s)
 	}
 	return out
+}
+
+// Merge folds src's metrics into r: counters and histograms accumulate,
+// plain gauges take src's value, and gauge functions are skipped (they are
+// live views of src's — possibly dead — backing system). Counter and
+// histogram merging is commutative, so folding per-worker sweep hubs into
+// one registry yields the same totals regardless of which worker ran which
+// point. Names bound to different kinds in the two registries are skipped.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	names := make([]string, 0, len(src.metrics))
+	for n := range src.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ms := make([]*metric, 0, len(names))
+	for _, n := range names {
+		ms = append(ms, src.metrics[n])
+	}
+	src.mu.Unlock()
+
+	for i, n := range names {
+		m := ms[i]
+		switch m.kind {
+		case kindCounter:
+			if v := m.ctr.Value(); v != 0 {
+				r.Counter(n).Add(v)
+			}
+		case kindGauge:
+			r.Gauge(n).Set(m.gau.Value())
+		case kindHistogram:
+			r.Histogram(n).merge(m.hist)
+		}
+	}
 }
 
 // WriteJSONL writes the snapshot as one JSON object per line.
@@ -372,4 +539,14 @@ func (h *Hub) Registry() *Registry {
 		return nil
 	}
 	return h.Metrics
+}
+
+// Merge folds src's metrics into h (see Registry.Merge). Trace rings are not
+// merged: a ring is a per-hub recency window, and interleaving windows from
+// different workers would fabricate an ordering that never existed.
+func (h *Hub) Merge(src *Hub) {
+	if h == nil || src == nil {
+		return
+	}
+	h.Metrics.Merge(src.Metrics)
 }

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Live HTTP exposition of a Hub, so long runs (torture sweeps, benchmark
+// campaigns) can be watched while they execute instead of only post-mortem:
+//
+//	GET /metrics        Prometheus text exposition
+//	GET /snapshot.json  JSON array of metric samples
+//	GET /trace          recent ring events, one trace_event JSON per line
+//
+// The handlers read counters, gauges, and histograms through their own
+// atomic/mutex protection, so serving concurrently with a running simulator
+// is race-free. Gauge functions are the exception — they read live simulator
+// state without synchronization — so they are excluded unless the request
+// carries ?gauges=1, which is only safe once the run is quiescent.
+
+// defaultTraceWindow caps /trace responses unless ?n= asks otherwise.
+const defaultTraceWindow = 1000
+
+// Server is a Hub's HTTP exposition endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler returns the hub's HTTP handler. A nil hub yields a handler that
+// answers 503 to everything — the obs-disabled fast path, so callers can
+// wire the route unconditionally without guarding on the hub.
+func (h *Hub) Handler() http.Handler {
+	if h == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "observability disabled", http.StatusServiceUnavailable)
+		})
+	}
+	samples := func(r *http.Request) []Sample {
+		if r.URL.Query().Get("gauges") == "1" {
+			return h.Metrics.Snapshot()
+		}
+		return h.Metrics.SnapshotLive()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheusSamples(w, samples(r))
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(samples(r))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := defaultTraceWindow
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = WriteEventsJSONL(w, h.Tracer().Recent(n))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write([]byte("ppa observability endpoints: /metrics /snapshot.json /trace\n"))
+	})
+	return mux
+}
+
+// Serve starts serving the hub on addr (e.g. ":8080" or "127.0.0.1:0") in a
+// background goroutine and returns once the listener is bound, so /metrics
+// is reachable before the first simulated cycle.
+func Serve(addr string, hub *Hub) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: hub.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

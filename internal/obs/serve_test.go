@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	hub := NewHub(64)
+	hub.Registry().Counter("torture.points").Add(42)
+	hub.Registry().Histogram("store.commit-to-durable-cycles").Observe(17)
+	// A gauge func reading "live" state: must NOT appear without ?gauges=1.
+	hub.Registry().BindGaugeFunc("core0.cycle", func() float64 { return 99 })
+	for i := 0; i < 10; i++ {
+		hub.Tracer().Emit(Event{Cycle: uint64(i), Name: "e", Cat: "t"})
+	}
+
+	srv, err := Serve("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if !strings.Contains(body, "ppa_torture_points 42") ||
+		!strings.Contains(body, `ppa_store_commit_to_durable_cycles{quantile="0.99"} 17`) {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	if strings.Contains(body, "core0_cycle") {
+		t.Error("/metrics leaked a gauge func without ?gauges=1")
+	}
+	if _, body = get(t, base+"/metrics?gauges=1"); !strings.Contains(body, "ppa_core0_cycle 99") {
+		t.Error("/metrics?gauges=1 missing gauge func sample")
+	}
+
+	code, body = get(t, base+"/snapshot.json")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot.json: %d", code)
+	}
+	var samples []Sample
+	if err := json.Unmarshal([]byte(body), &samples); err != nil {
+		t.Fatalf("/snapshot.json parse: %v", err)
+	}
+	if len(samples) != 2 {
+		t.Errorf("/snapshot.json samples = %d, want 2 (gauge func excluded)", len(samples))
+	}
+
+	code, body = get(t, base+"/trace?n=3")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: %d", code)
+	}
+	if n := strings.Count(strings.TrimSpace(body), "\n") + 1; n != 3 {
+		t.Errorf("/trace?n=3 lines = %d, want 3", n)
+	}
+
+	if code, _ = get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: %d, want 404", code)
+	}
+}
+
+// TestServeNilHub: the obs-disabled fast path answers 503 on every route.
+func TestServeNilHub(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/", "/metrics", "/snapshot.json", "/trace"} {
+		if code, _ := get(t, "http://"+srv.Addr()+path); code != http.StatusServiceUnavailable {
+			t.Errorf("nil hub %s: %d, want 503", path, code)
+		}
+	}
+}

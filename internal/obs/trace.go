@@ -177,6 +177,34 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// Recent returns the n most recent events, oldest first (all buffered
+// events when n <= 0 or exceeds the buffer). The /trace serve endpoint uses
+// it to ship a bounded window instead of copying the whole ring.
+func (t *Tracer) Recent(n int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.buf) {
+		n = len(t.buf)
+	}
+	out := make([]Event, 0, n)
+	if t.wrap {
+		// Chronological order is buf[next:] then buf[:next]; the newest
+		// events sit at the end of the second segment.
+		if n <= t.next {
+			out = append(out, t.buf[t.next-n:t.next]...)
+		} else {
+			out = append(out, t.buf[len(t.buf)-(n-t.next):]...)
+			out = append(out, t.buf[:t.next]...)
+		}
+	} else {
+		out = append(out, t.buf[len(t.buf)-n:]...)
+	}
+	return out
+}
+
 // Reset discards all buffered events (the emit total is kept).
 func (t *Tracer) Reset() {
 	if t == nil {

@@ -148,6 +148,7 @@ type Stats struct {
 
 	// Stall accounting (cycles).
 	RegionEndStalls   uint64 // waiting for persists at a boundary (Fig 11)
+	PersistDrainWaits uint64 // subset of RegionEndStalls: boundary armed, persists not yet durable
 	RenameNoRegStalls uint64 // free list empty, no boundary taken (Fig 12)
 	ROBFullStalls     uint64
 	SQFullStalls      uint64
@@ -286,6 +287,19 @@ type Core struct {
 	tr               *obs.Tracer
 	regionStartCycle uint64
 
+	// Region attribution histograms and per-cause barrier counters, shared
+	// across cores on the registry (nil when obs is disabled — the hot path
+	// pays one nil check). regionDrainWait counts the open boundary's
+	// persist-drain wait cycles, deduped per cycle like noteRegionStall.
+	obsRegionInsts     *obs.Histogram
+	obsRegionStores    *obs.Histogram
+	obsBarrierStall    *obs.Histogram
+	obsDrainWait       *obs.Histogram
+	obsBarrier         [numBoundaryCauses]*obs.Counter
+	pressure           rename.BoundaryPressure
+	regionDrainWait    uint64
+	lastDrainWaitCycle uint64
+
 	rngState uint64 // deterministic branch-outcome hash state
 }
 
@@ -333,6 +347,17 @@ func New(cfg Config, prog *isa.Program, hier *cache.Hierarchy, redo *persist.Red
 		reg.BindGaugeFunc(p+"pipeline.rename-no-reg-stalls", func() float64 { return float64(c.st.RenameNoRegStalls) })
 		reg.BindGaugeFunc(p+"pipeline.wb-full-stalls", func() float64 { return float64(c.st.WBFullStalls) })
 		reg.BindGaugeFunc(p+"pipeline.csq-max-depth", func() float64 { return float64(c.st.CSQMaxDepth) })
+		// Region attribution: distributions and per-cause totals, shared
+		// across every core on this registry so they expose as one
+		// Prometheus family each.
+		c.obsRegionInsts = reg.Histogram("region.insts")
+		c.obsRegionStores = reg.Histogram("region.stores")
+		c.obsBarrierStall = reg.Histogram("region.barrier-stall-cycles")
+		c.obsDrainWait = reg.Histogram("region.drain-wait-cycles")
+		for cause := BoundaryCause(0); cause < numBoundaryCauses; cause++ {
+			c.obsBarrier[cause] = reg.Counter("region.barrier-total|cause=" + cause.String())
+		}
+		c.pressure = rename.NewBoundaryPressure(reg)
 	}
 	return c, nil
 }
@@ -625,6 +650,7 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 		}
 	}
 	if c.cfg.Scheme.AsyncPersist && !c.hier.PersistedThrough(c.cfg.CoreID, c.epochSnapSeq) {
+		c.noteDrainWait(cycle)
 		return false
 	}
 	// The full-drain ablation freezes the frontend while any boundary is
@@ -680,11 +706,20 @@ func (c *Core) closeRegionStats(cycle uint64, cause BoundaryCause, stall uint64)
 			StallCycles: stall,
 		})
 	}
+	if c.obsRegionInsts != nil {
+		c.obsRegionInsts.Observe(float64(c.regionInsts))
+		c.obsRegionStores.Observe(float64(c.regionStores))
+		c.obsBarrierStall.Observe(float64(stall))
+		c.obsDrainWait.Observe(float64(c.regionDrainWait))
+		c.obsBarrier[cause].Inc()
+		c.ren.ObservePressure(c.pressure)
+	}
 	if c.tr != nil {
 		c.emitRegion(cycle, cause, stall)
 	}
 	c.regionInsts = 0
 	c.regionStores = 0
+	c.regionDrainWait = 0
 }
 
 // emitRegion traces one closed region: the region slice itself, the
@@ -716,6 +751,7 @@ func (c *Core) emitRegion(cycle uint64, cause BoundaryCause, stall uint64) {
 			Cat:   "persist",
 			Args: [obs.MaxEventArgs]obs.Arg{
 				{Key: "cause", Val: int64(cause)},
+				{Key: "drain", Val: int64(c.regionDrainWait)},
 			},
 		})
 	}
@@ -745,6 +781,7 @@ func (c *Core) fixedBarrierDone(cycle uint64) bool {
 			c.boundaryReadyAt = cycle + uint64(sc.BoundaryBubble)
 		}
 		if cycle < c.boundaryReadyAt || c.redo.PendingOf(c.cfg.CoreID) > 0 {
+			c.noteDrainWait(cycle)
 			return false
 		}
 		c.boundaryReadyAt = 0
@@ -760,6 +797,19 @@ func (c *Core) noteRegionStall(cycle uint64) {
 	if c.lastRegionStallCycle != cycle+1 {
 		c.lastRegionStallCycle = cycle + 1
 		c.st.RegionEndStalls++
+	}
+}
+
+// noteDrainWait counts one persist-drain wait cycle — the boundary is armed
+// but the region's stores are not yet durable — at most once per cycle. It
+// feeds the distinct persist-drain stall category (PersistDrainWaits, the
+// region-barrier "drain" arg, and the region.drain-wait-cycles histogram),
+// separating drain time from the generic boundary stall it is a subset of.
+func (c *Core) noteDrainWait(cycle uint64) {
+	if c.lastDrainWaitCycle != cycle+1 {
+		c.lastDrainWaitCycle = cycle + 1
+		c.st.PersistDrainWaits++
+		c.regionDrainWait++
 	}
 }
 

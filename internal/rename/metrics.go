@@ -17,3 +17,31 @@ func (r *Renamer) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.BindGaugeFunc(prefix+"stalls", func() float64 { return float64(r.RenameStalls) })
 	reg.BindGaugeFunc(prefix+"deferred-frees", func() float64 { return float64(r.DeferredFrees) })
 }
+
+// BoundaryPressure is the set of histograms sampling rename pressure at
+// region boundaries: how many free registers remained and how many were
+// pinned by MaskReg when the region closed — the distribution behind the
+// paper's Figure 5/12 free-list-exhaustion argument.
+type BoundaryPressure struct {
+	FreeInt *obs.Histogram
+	FreeFP  *obs.Histogram
+	Masked  *obs.Histogram
+}
+
+// NewBoundaryPressure registers the boundary-pressure histograms. Names
+// carry no core prefix: the histograms aggregate across every core sharing
+// the registry (get-or-create returns the same instances).
+func NewBoundaryPressure(reg *obs.Registry) BoundaryPressure {
+	return BoundaryPressure{
+		FreeInt: reg.Histogram("rename.free-int-at-boundary"),
+		FreeFP:  reg.Histogram("rename.free-fp-at-boundary"),
+		Masked:  reg.Histogram("rename.masked-at-boundary"),
+	}
+}
+
+// ObservePressure records the renamer's current pressure into p.
+func (r *Renamer) ObservePressure(p BoundaryPressure) {
+	p.FreeInt.Observe(float64(r.FreeCount(isa.ClassInt)))
+	p.FreeFP.Observe(float64(r.FreeCount(isa.ClassFP)))
+	p.Masked.Observe(float64(r.MaskedCount()))
+}

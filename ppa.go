@@ -137,6 +137,17 @@ func WriteMetricsJSONL(w io.Writer, hub *obs.Hub) error {
 	return hub.Registry().WriteJSONL(w)
 }
 
+// ServeObs exposes the hub live over HTTP at addr: /metrics (Prometheus
+// text exposition with p50/p95/p99 summary quantiles), /snapshot.json
+// (metric samples), and /trace (recent ring events as JSON Lines). Serving
+// concurrently with a running simulation is race-free — gauge functions,
+// the one unsynchronized read, are excluded unless a request passes
+// ?gauges=1 (safe only once the run is quiescent). A nil hub serves 503s.
+// Close the returned server to release the listener.
+func ServeObs(addr string, hub *obs.Hub) (*obs.Server, error) {
+	return obs.Serve(addr, hub)
+}
+
 func (rc RunConfig) resolve() (workload.Profile, persist.Config, int, error) {
 	var prof workload.Profile
 	if rc.Profile != nil {

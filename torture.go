@@ -311,9 +311,15 @@ func RunTorture(rc RunConfig, points []TorturePoint, onPoint func(*TortureOutcom
 // worker gets its own observability hub (RunConfig.Obs must not be shared
 // across goroutines), and verdicts are aggregated in point order after the
 // sweep — the report is byte-identical to RunTorture's for the same points,
-// and onPoint still fires in sweep order. workers <= 0 means GOMAXPROCS;
-// workers == 1 is exactly the sequential sweep (including rc.Obs use, so
-// trace-carrying hubs keep working). Cancelling ctx abandons the sweep.
+// and onPoint still fires in sweep order. The main hub's "torture.points"
+// and "torture.violations" counters tick live as workers finish points (so
+// a served /metrics endpoint shows sweep progress), and when the sweep ends
+// the per-worker hubs merge into the main hub in creation order — counter
+// and histogram merging is commutative, so the merged totals are
+// deterministic no matter which worker ran which point. workers <= 0 means
+// GOMAXPROCS; workers == 1 is exactly the sequential sweep (including
+// rc.Obs use, so trace-carrying hubs keep working). Cancelling ctx abandons
+// the sweep.
 func RunTortureParallel(ctx context.Context, rc RunConfig, points []TorturePoint, workers int, onPoint func(*TortureOutcome)) (*TortureReport, error) {
 	workers = sweep.Workers(workers)
 	if workers <= 1 || len(points) <= 1 {
@@ -323,10 +329,14 @@ func RunTortureParallel(ctx context.Context, rc RunConfig, points []TorturePoint
 	if hub == nil {
 		hub = DefaultObs
 	}
+	whs := make([]*obs.Hub, workers)
 	hubs := make(chan *obs.Hub, workers)
-	for i := 0; i < workers; i++ {
-		hubs <- NewObsHub(0)
+	for i := range whs {
+		whs[i] = NewObsHub(0)
+		hubs <- whs[i]
 	}
+	livePoints := hub.Registry().Counter("torture.points")
+	liveViolations := hub.Registry().Counter("torture.violations")
 	outs, err := sweep.Map(ctx, workers, len(points), func(_ context.Context, i int) (*TortureOutcome, error) {
 		wh := <-hubs
 		defer func() { hubs <- wh }()
@@ -336,14 +346,26 @@ func RunTortureParallel(ctx context.Context, rc RunConfig, points []TorturePoint
 		if perr != nil {
 			return nil, fmt.Errorf("torture point %v: %w", points[i], perr)
 		}
+		livePoints.Inc()
+		if out.Violation != "" {
+			liveViolations.Inc()
+		}
 		return out, nil
 	})
+	// Fold the workers' simulator metrics (persist latency histograms,
+	// region attribution, ...) into the main hub even when the sweep
+	// aborted: a served registry should show whatever progress was made.
+	for _, wh := range whs {
+		hub.Merge(wh)
+	}
 	rep := &TortureReport{ByKind: make(map[string]int)}
 	if err != nil {
 		return rep, err
 	}
 	for i, out := range outs {
-		rep.aggregate(hub, points[i], out, onPoint)
+		// The hub counters already ticked live in the workers; pass a nil
+		// hub so aggregate only builds the report.
+		rep.aggregate(nil, points[i], out, onPoint)
 	}
 	return rep, nil
 }
