@@ -56,6 +56,7 @@ func main() {
 	traceSpans := flag.Bool("trace-spans", false, "with -trace: export region lifetimes as Begin/End span pairs so barrier slices nest inside them in Perfetto")
 	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot as JSON Lines")
 	serveAddr := flag.String("serve", "", "serve live observability over HTTP at this address (endpoints /metrics, /snapshot.json, /trace); the process keeps serving after the run until interrupted")
+	oracleFlag := flag.Bool("oracle", false, "run the differential lockstep oracle: cross-check every committed instruction against an ISA-level golden model and assert persist ordering; any divergence fails the run")
 	flag.Parse()
 
 	if *dumpConfig {
@@ -128,7 +129,7 @@ func main() {
 	var baseCycles map[string]uint64 = map[string]uint64{}
 	for _, p := range profiles {
 		for _, s := range schemes {
-			res, err := runOne(p, s, *insts, customize, hub)
+			res, err := runOne(p, s, *insts, customize, hub, *oracleFlag)
 			if err != nil {
 				log.Fatalf("%s/%s: %v", p.Name, s.Kind, err)
 			}
@@ -190,13 +191,14 @@ func writeMetrics(f *os.File, hub *obs.Hub) error {
 }
 
 // runOne builds and runs one simulation with the optional config override.
-func runOne(p workload.Profile, s persist.Config, insts int, customize func(*multicore.Config), hub *obs.Hub) (*multicore.Result, error) {
+func runOne(p workload.Profile, s persist.Config, insts int, customize func(*multicore.Config), hub *obs.Hub, oracle bool) (*multicore.Result, error) {
 	w, err := workload.New(p, insts)
 	if err != nil {
 		return nil, err
 	}
 	cfg := multicore.DefaultConfig(len(w.Threads), s)
 	cfg.Obs = hub
+	cfg.Lockstep = oracle
 	if customize != nil {
 		customize(&cfg)
 	}

@@ -44,6 +44,7 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve live observability over HTTP for the duration of the sweep (endpoints /metrics, /snapshot.json, /trace); torture.points/violations tick live, per-worker simulator metrics merge in at sweep end")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print every point's verdict")
+	oracleFlag := flag.Bool("oracle", false, "run every point under the differential lockstep oracle: commit-stream divergences and post-recovery image mismatches count as violations")
 	flag.Parse()
 
 	hub := ppa.NewObsHub(0)
@@ -60,6 +61,7 @@ func main() {
 		Scheme:         ppa.Scheme(*schemeFlag),
 		InstsPerThread: *insts,
 		Obs:            hub,
+		Lockstep:       *oracleFlag,
 	}
 
 	if *replayPath != "" {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ppa/internal/isa"
+	"ppa/internal/mutation"
 	"ppa/internal/nvm"
 	"ppa/internal/obs"
 )
@@ -188,7 +189,12 @@ func (w *writeBuffer) add(line, addr, val uint64, ready, commit uint64) (token i
 	if w.coalesce {
 		if seq, hit := w.index[line]; hit {
 			e := w.at(seq)
-			e.words.Set(addr, val)
+			if !mutation.Is(mutation.CacheCoalesceDropWord) {
+				// Seeded bug CacheCoalesceDropWord: the coalescing hit is
+				// counted but the incoming word's value never lands in the
+				// entry's payload.
+				e.words.Set(addr, val)
+			}
 			e.stores++
 			e.commitSum += commit
 			w.pending++

@@ -14,6 +14,7 @@ import (
 	"hash/crc32"
 
 	"ppa/internal/isa"
+	"ppa/internal/mutation"
 	"ppa/internal/pipeline"
 	"ppa/internal/rename"
 )
@@ -63,9 +64,14 @@ func Capture(core *pipeline.Core) *Image {
 		seen[p] = true
 		im.Regs = append(im.Regs, RegValue{Phys: p, Val: ren.Read(p)})
 	}
-	for _, e := range im.CSQ {
-		if !e.ValueBearing {
-			addReg(e.Phys)
+	if !mutation.Is(mutation.CheckpointDropCSQRegs) {
+		// Seeded bug CheckpointDropCSQRegs: the checkpoint keeps only the
+		// CRT-referenced registers, so CSQ entries whose source was already
+		// displaced from the CRT reference a register the image never saved.
+		for _, e := range im.CSQ {
+			if !e.ValueBearing {
+				addReg(e.Phys)
+			}
 		}
 	}
 	for _, t := range im.CRT {

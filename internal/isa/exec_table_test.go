@@ -1,0 +1,273 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+// These tables pin every opcode's architectural semantics. They are the
+// single source of truth the differential oracle (internal/oracle) builds
+// on: the oracle recomputes each committed instruction through Eval /
+// StoredValue / the golden step, so a change here is a change to what the
+// whole machine is checked against. This ISA carries no condition flags —
+// branch semantics are "reads Src1, defines nothing" (prediction is
+// modeled statistically by the pipeline, not architecturally).
+
+// execCase drives one instruction through a golden step from a prepared
+// register/memory state and checks its full architectural effect.
+type execCase struct {
+	name string
+	in   Inst
+	regs map[Reg]uint64    // pre-state (unset registers are 0)
+	mem  map[uint64]uint64 // pre-state memory words
+
+	wantDst   uint64            // checked when in.Dst is valid
+	wantMem   map[uint64]uint64 // post-state words to verify
+	wantStore *StoreRecord      // expected store-log entry, nil for none
+}
+
+func execCases() []execCase {
+	return []execCase{
+		{
+			name: "nop has no architectural effect",
+			in:   Inst{PC: 0x40, Op: OpNop},
+		},
+		{
+			name:    "alu adds sources and immediate",
+			in:      Inst{PC: 0x44, Op: OpALU, Dst: Int(0), Src1: Int(1), Src2: Int(2), Imm: 3},
+			regs:    map[Reg]uint64{Int(1): 5, Int(2): 7},
+			wantDst: 15,
+		},
+		{
+			name:    "alu negative immediate wraps as two's complement",
+			in:      Inst{PC: 0x48, Op: OpALU, Dst: Int(0), Src1: Int(1), Src2: Int(2), Imm: -4},
+			regs:    map[Reg]uint64{Int(1): 5, Int(2): 7},
+			wantDst: 8,
+		},
+		{
+			name:    "alu overflow wraps modulo 2^64",
+			in:      Inst{PC: 0x4c, Op: OpALU, Dst: Int(0), Src1: Int(1), Src2: Int(2), Imm: 0},
+			regs:    map[Reg]uint64{Int(1): math.MaxUint64, Int(2): 1},
+			wantDst: 0,
+		},
+		{
+			name:    "alu missing source reads as zero",
+			in:      Inst{PC: 0x50, Op: OpALU, Dst: Int(3), Src1: Int(1), Src2: NoReg, Imm: 1},
+			regs:    map[Reg]uint64{Int(1): 9},
+			wantDst: 10,
+		},
+		{
+			name:    "mul multiplies then adds immediate",
+			in:      Inst{PC: 0x54, Op: OpMul, Dst: Int(0), Src1: Int(1), Src2: Int(2), Imm: 2},
+			regs:    map[Reg]uint64{Int(1): 6, Int(2): 7},
+			wantDst: 44,
+		},
+		{
+			name:    "mul overflow wraps modulo 2^64",
+			in:      Inst{PC: 0x58, Op: OpMul, Dst: Int(0), Src1: Int(1), Src2: Int(2), Imm: 0},
+			regs:    map[Reg]uint64{Int(1): 1 << 63, Int(2): 2},
+			wantDst: 0,
+		},
+		{
+			name:    "fpu xors src1 with immediate-shifted src2",
+			in:      Inst{PC: 0x5c, Op: OpFPU, Dst: FP(0), Src1: FP(1), Src2: FP(2), Imm: 1},
+			regs:    map[Reg]uint64{FP(1): 0b1100, FP(2): 0b0010},
+			wantDst: 0b1100 ^ 0b0011,
+		},
+		{
+			name:    "fpmul biases operands before multiplying",
+			in:      Inst{PC: 0x60, Op: OpFPMul, Dst: FP(3), Src1: FP(1), Src2: FP(2), Imm: 5},
+			regs:    map[Reg]uint64{FP(1): 4, FP(2): 6},
+			wantDst: (4+3)*(6|1) + 5,
+		},
+		{
+			name:    "fpmul zero operands still defined (src2|1 bias)",
+			in:      Inst{PC: 0x64, Op: OpFPMul, Dst: FP(0), Src1: FP(1), Src2: FP(2), Imm: 0},
+			regs:    map[Reg]uint64{},
+			wantDst: 3,
+		},
+		{
+			name:    "load reads the addressed word",
+			in:      Inst{PC: 0x68, Op: OpLoad, Dst: Int(4), Addr: 0x1000},
+			mem:     map[uint64]uint64{0x1000: 0xdead},
+			wantDst: 0xdead,
+		},
+		{
+			name:    "load from an unwritten word reads zero",
+			in:      Inst{PC: 0x6c, Op: OpLoad, Dst: Int(4), Addr: 0x2000},
+			wantDst: 0,
+		},
+		{
+			name:      "store writes src1 to the word-aligned address",
+			in:        Inst{PC: 0x70, Op: OpStore, Src1: Int(1), Addr: 0x3000},
+			regs:      map[Reg]uint64{Int(1): 0x1234},
+			wantMem:   map[uint64]uint64{0x3000: 0x1234},
+			wantStore: &StoreRecord{Addr: 0x3000, Val: 0x1234},
+		},
+		{
+			name:      "store folds a misaligned address to its word",
+			in:        Inst{PC: 0x74, Op: OpStore, Src1: Int(1), Addr: 0x3005},
+			regs:      map[Reg]uint64{Int(1): 0x55},
+			wantMem:   map[uint64]uint64{0x3000: 0x55},
+			wantStore: &StoreRecord{Addr: 0x3000, Val: 0x55},
+		},
+		{
+			name: "branch reads src1 and defines nothing",
+			in:   Inst{PC: 0x78, Op: OpBranch, Src1: Int(1)},
+			regs: map[Reg]uint64{Int(1): 1},
+		},
+		{
+			name:      "rmw returns the old word and stores old+src1",
+			in:        Inst{PC: 0x7c, Op: OpRMW, Dst: Int(5), Src1: Int(1), Addr: 0x4000},
+			regs:      map[Reg]uint64{Int(1): 10},
+			mem:       map[uint64]uint64{0x4000: 100},
+			wantDst:   100,
+			wantMem:   map[uint64]uint64{0x4000: 110},
+			wantStore: &StoreRecord{Addr: 0x4000, Val: 110},
+		},
+		{
+			name:      "rmw on an unwritten word sees old value zero",
+			in:        Inst{PC: 0x80, Op: OpRMW, Dst: Int(5), Src1: Int(1), Addr: 0x5000},
+			regs:      map[Reg]uint64{Int(1): 7},
+			wantDst:   0,
+			wantMem:   map[uint64]uint64{0x5000: 7},
+			wantStore: &StoreRecord{Addr: 0x5000, Val: 7},
+		},
+		{
+			name:      "rmw addition wraps modulo 2^64",
+			in:        Inst{PC: 0x84, Op: OpRMW, Dst: Int(5), Src1: Int(1), Addr: 0x6000},
+			regs:      map[Reg]uint64{Int(1): 2},
+			mem:       map[uint64]uint64{0x6000: math.MaxUint64},
+			wantDst:   math.MaxUint64,
+			wantMem:   map[uint64]uint64{0x6000: 1},
+			wantStore: &StoreRecord{Addr: 0x6000, Val: 1},
+		},
+		{
+			name: "fence has no architectural effect",
+			in:   Inst{PC: 0x88, Op: OpFence},
+		},
+		{
+			name: "sync has no architectural effect",
+			in:   Inst{PC: 0x8c, Op: OpSync},
+		},
+	}
+}
+
+func TestExecTable(t *testing.T) {
+	covered := map[Op]bool{}
+	for _, c := range execCases() {
+		covered[c.in.Op] = true
+		t.Run(c.name, func(t *testing.T) {
+			res := &GoldenResult{Mem: NewMapMemory()}
+			for r, v := range c.regs {
+				res.Regs.Write(r, v)
+			}
+			for a, v := range c.mem {
+				res.Mem.WriteWord(a, v)
+			}
+			before := res.Regs
+			StepGolden(res, &c.in, 0)
+
+			if c.in.DefinesReg() {
+				if got := res.Regs.Read(c.in.Dst); got != c.wantDst {
+					t.Errorf("%v: dst %v = %#x, want %#x", &c.in, c.in.Dst, got, c.wantDst)
+				}
+			} else if res.Regs != before {
+				t.Errorf("%v: register state changed by an instruction that defines nothing", &c.in)
+			}
+			for a, v := range c.wantMem {
+				if got := res.Mem.ReadWord(a); got != v {
+					t.Errorf("%v: mem[%#x] = %#x, want %#x", &c.in, a, got, v)
+				}
+			}
+			switch {
+			case c.wantStore == nil && len(res.StoreLog) != 0:
+				t.Errorf("%v: unexpected store log %+v", &c.in, res.StoreLog)
+			case c.wantStore != nil && len(res.StoreLog) != 1:
+				t.Errorf("%v: store log %+v, want one entry", &c.in, res.StoreLog)
+			case c.wantStore != nil:
+				got := res.StoreLog[0]
+				if got.Addr != c.wantStore.Addr || got.Val != c.wantStore.Val {
+					t.Errorf("%v: store log %+v, want addr %#x val %#x",
+						&c.in, got, c.wantStore.Addr, c.wantStore.Val)
+				}
+			case c.wantStore == nil && len(c.wantMem) == 0 && res.Mem.Len() != len(c.mem):
+				t.Errorf("%v: memory footprint changed (%d words, started with %d)",
+					&c.in, res.Mem.Len(), len(c.mem))
+			}
+			if res.Executed != 1 {
+				t.Errorf("%v: Executed = %d, want 1", &c.in, res.Executed)
+			}
+		})
+	}
+	// Every opcode must appear in the table — a new Op without pinned
+	// semantics is exactly the gap that lets machine and oracle drift apart.
+	for op := OpNop; op <= OpSync; op++ {
+		if !covered[op] {
+			t.Errorf("opcode %s has no exec table case", op)
+		}
+	}
+}
+
+// TestEvalStoredValueAgreement pins the helper pair the oracle calls
+// directly against the golden step for store-class ops: StoredValue must
+// produce exactly what stepGolden writes, and Eval must produce the RMW's
+// old-value result.
+func TestEvalStoredValueAgreement(t *testing.T) {
+	in := Inst{PC: 0x90, Op: OpRMW, Dst: Int(0), Src1: Int(1), Addr: 0x1000}
+	res := &GoldenResult{Mem: NewMapMemory()}
+	res.Regs.Write(Int(1), 5)
+	res.Mem.WriteWord(0x1000, 40)
+
+	old := res.Mem.ReadWord(WordAlign(in.Addr))
+	wantStored := StoredValue(&in, res.Regs.Read(in.Src1), old)
+	wantDst := Eval(&in, res.Regs.Read(in.Src1), 0, old)
+
+	StepGolden(res, &in, 0)
+	if got := res.Mem.ReadWord(0x1000); got != wantStored {
+		t.Errorf("StoredValue says %#x, golden step wrote %#x", wantStored, got)
+	}
+	if got := res.Regs.Read(in.Dst); got != wantDst {
+		t.Errorf("Eval says %#x, golden step wrote %#x", wantDst, got)
+	}
+
+	st := Inst{PC: 0x94, Op: OpStore, Src1: Int(1), Addr: 0x2008}
+	if got, want := StoredValue(&st, 123, 999), uint64(123); got != want {
+		t.Errorf("plain store StoredValue = %#x, want the data register value %#x", got, want)
+	}
+}
+
+// TestGoldenRunPrefixes: RunGolden(p, k) must equal running the whole trace
+// and stopping after k instructions — the prefix property recovery
+// verification and the oracle's resume fast-forward both rely on.
+func TestGoldenRunPrefixes(t *testing.T) {
+	p := &Program{Insts: []Inst{
+		{PC: 0x00, Op: OpALU, Dst: Int(1), Src1: Int(1), Imm: 5},
+		{PC: 0x04, Op: OpStore, Src1: Int(1), Addr: 0x100},
+		{PC: 0x08, Op: OpRMW, Dst: Int(2), Src1: Int(1), Addr: 0x100},
+		{PC: 0x0c, Op: OpALU, Dst: Int(1), Src1: Int(2), Src2: Int(1), Imm: 0},
+		{PC: 0x10, Op: OpStore, Src1: Int(1), Addr: 0x108},
+	}}
+	full := RunGolden(p, -1)
+	if full.Executed != p.Len() {
+		t.Fatalf("full run executed %d of %d", full.Executed, p.Len())
+	}
+	for k := 0; k <= p.Len(); k++ {
+		pre := RunGolden(p, k)
+		inc := &GoldenResult{Mem: NewMapMemory()}
+		for i := 0; i < k; i++ {
+			StepGolden(inc, &p.Insts[i], i)
+		}
+		if pre.Regs != inc.Regs {
+			t.Fatalf("prefix %d: RunGolden regs %+v != incremental %+v", k, pre.Regs, inc.Regs)
+		}
+		if len(pre.StoreLog) != len(inc.StoreLog) {
+			t.Fatalf("prefix %d: store logs differ: %+v vs %+v", k, pre.StoreLog, inc.StoreLog)
+		}
+		for a, v := range pre.Mem.Snapshot() {
+			if got := inc.Mem.ReadWord(a); got != v {
+				t.Fatalf("prefix %d: mem[%#x] %#x != %#x", k, a, got, v)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ppa/internal/checkpoint"
 	"ppa/internal/nvm"
 	"ppa/internal/obs"
+	"ppa/internal/oracle"
 	"ppa/internal/persist"
 	"ppa/internal/pipeline"
 	"ppa/internal/power"
@@ -31,6 +32,12 @@ type Config struct {
 	// of the machine. Excluded from JSON so machine configs stay
 	// serializable.
 	Obs *obs.Hub `json:"-"`
+
+	// Lockstep attaches the differential oracle (internal/oracle): every
+	// commit is cross-checked against an independent ISA-level golden model
+	// and the NVM accept stream is checked against PPA's persist-ordering
+	// invariants. A divergence aborts the run with a *oracle.DivergenceError.
+	Lockstep bool
 }
 
 // DefaultConfig returns the Table 2 machine for n cores under a scheme.
@@ -76,6 +83,9 @@ type System struct {
 	// step()'s existing core loop, so the per-cycle Done() probe in the run
 	// loops costs a field read instead of another walk over the cores.
 	allDone bool
+
+	// oracle is the lockstep checker (nil unless Config.Lockstep).
+	oracle *oracle.Machine
 }
 
 // NewSystemResumed builds a machine around a surviving NVM device (post
@@ -118,6 +128,10 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 	}
 
 	s := &System{cfg: cfg, w: w, dev: dev, hier: hier}
+	if cfg.Lockstep {
+		s.oracle = oracle.New(w.Threads, startAt)
+		dev.SetAcceptObserver(s.oracle.ObserveAccept)
+	}
 	var redo *persist.RedoPath
 	if cfg.Scheme.UseRedoPath {
 		redo = persist.NewRedoPath(len(w.Threads), cfg.Scheme.RedoBufBytes,
@@ -136,6 +150,9 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 		core, err := pipeline.New(pcfg, prog, hier, redo)
 		if err != nil {
 			return nil, err
+		}
+		if s.oracle != nil {
+			core.SetCommitSink(s.oracle)
 		}
 		s.cores = append(s.cores, core)
 	}
@@ -167,6 +184,9 @@ func (s *System) Device() *nvm.Device { return s.dev }
 // Done reports whether every core has retired its whole trace.
 func (s *System) Done() bool { return s.allDone }
 
+// Oracle returns the lockstep checker, or nil when Config.Lockstep is off.
+func (s *System) Oracle() *oracle.Machine { return s.oracle }
+
 // step advances the machine one cycle. A typed memory-system error (state
 // corruption, e.g. an unaligned word reaching the WPQ) aborts the cycle.
 func (s *System) step() error {
@@ -183,7 +203,22 @@ func (s *System) step() error {
 	}
 	s.allDone = done
 	s.cycle++
+	if s.oracle != nil {
+		if err := s.oracle.Err(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// checkOracleFinal runs the end-of-run durable-image cross-check for
+// schemes whose only image-write path is the observed WPQ accept stream
+// (asynchronous persistence without a redo path).
+func (s *System) checkOracleFinal() error {
+	if s.oracle == nil || !s.cfg.Scheme.AsyncPersist || s.cfg.Scheme.UseRedoPath {
+		return nil
+	}
+	return s.oracle.CheckFinal(s.dev.Image())
 }
 
 // Run executes until completion or maxCycles, returning an error on
@@ -198,7 +233,7 @@ func (s *System) Run(maxCycles uint64) error {
 			return err
 		}
 	}
-	return nil
+	return s.checkOracleFinal()
 }
 
 // RunUntil executes until the given cycle or completion, whichever first,
@@ -207,6 +242,11 @@ func (s *System) RunUntil(cycle uint64) (bool, error) {
 	for !s.Done() && s.cycle < cycle {
 		if err := s.step(); err != nil {
 			return false, err
+		}
+	}
+	if s.Done() {
+		if err := s.checkOracleFinal(); err != nil {
+			return true, err
 		}
 	}
 	return s.Done(), nil
@@ -354,6 +394,9 @@ func (s *System) CrashWithOptions(opt CrashOptions) *CrashReport {
 		r.PowerFail()
 	}
 	s.hier.PowerFail()
+	if s.oracle != nil {
+		s.oracle.ObserveCrash()
+	}
 	return rep
 }
 

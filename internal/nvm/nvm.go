@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ppa/internal/isa"
+	"ppa/internal/mutation"
 	"ppa/internal/obs"
 )
 
@@ -230,6 +231,18 @@ type Device struct {
 	wpqRejects *obs.Counter
 	wpqAtWrite *obs.Histogram
 	now        uint64
+
+	// acceptObs, when non-nil, observes every successful TryAccept — the
+	// ADR durability point — with the offered word values. The persist-
+	// ordering checker (internal/oracle) hangs off this.
+	acceptObs func(cycle, line uint64, words *isa.LineWords)
+}
+
+// SetAcceptObserver attaches a callback fired on every successful line
+// accept (including coalescing accepts), stamped with the device's current
+// cycle. A nil observer (the default) costs one nil check per accept.
+func (d *Device) SetAcceptObserver(fn func(cycle, line uint64, words *isa.LineWords)) {
+	d.acceptObs = fn
 }
 
 // NewDevice creates an NVM device with the given configuration.
@@ -374,8 +387,15 @@ func (d *Device) TryAccept(line uint64, words *isa.LineWords) (bool, error) {
 	ch := d.chanOf(line)
 	if d.cfg.CoalesceWPQ {
 		if ch.wcb.touch(line) {
-			d.applyWords(line, words)
+			if !mutation.Is(mutation.NVMCoalesceSkipImage) {
+				// Seeded bug NVMCoalesceSkipImage: the WCB hit is counted
+				// but the durable image never sees the new words.
+				d.applyWords(line, words)
+			}
 			d.Coalesced++
+			if d.acceptObs != nil {
+				d.acceptObs(d.now, line, words)
+			}
 			return true, nil
 		}
 		for i := 0; i < ch.wpqN; i++ {
@@ -383,6 +403,9 @@ func (d *Device) TryAccept(line uint64, words *isa.LineWords) (bool, error) {
 				e.words.Merge(words)
 				d.applyWords(line, words)
 				d.Coalesced++
+				if d.acceptObs != nil {
+					d.acceptObs(d.now, line, words)
+				}
 				return true, nil
 			}
 		}
@@ -410,6 +433,9 @@ func (d *Device) TryAccept(line uint64, words *isa.LineWords) (bool, error) {
 	// Distribution companion to the WPQOccupancyX running average: how full
 	// the channel's queue was when this write became durable.
 	d.wpqAtWrite.Observe(float64(ch.wpqN))
+	if d.acceptObs != nil {
+		d.acceptObs(d.now, line, words)
+	}
 	return true, nil
 }
 

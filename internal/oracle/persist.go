@@ -1,0 +1,227 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"ppa/internal/isa"
+	"ppa/internal/pipeline"
+)
+
+// PersistViolation describes the first breach of PPA's persist-ordering
+// invariants observed on the accept stream.
+type PersistViolation struct {
+	// Kind is one of barrier-incomplete, durable-image-mismatch,
+	// recovered-image-mismatch, or recovered-count-mismatch.
+	Kind   string `json:"kind"`
+	Core   int    `json:"core"`
+	Cycle  uint64 `json:"cycle"`
+	Addr   uint64 `json:"addr"`
+	Seq    int    `json:"seq"`
+	Got    uint64 `json:"got"`
+	Want   uint64 `json:"want"`
+	Detail string `json:"detail"`
+}
+
+func (v *PersistViolation) String() string {
+	return fmt.Sprintf("%s: core %d addr %#x: %s", v.Kind, v.Core, v.Addr, v.Detail)
+}
+
+// pendingStore is one committed store whose durability the checker has not
+// yet observed on the accept stream.
+type pendingStore struct {
+	core int
+	seq  int
+	val  uint64
+}
+
+// persistChecker tracks, per word address, the FIFO of committed-but-not-
+// yet-durable stores and the last value known durable. Accepts retire
+// outstanding prefixes: an accepted value equal to outstanding store i
+// proves i and everything older durable (older same-word values may be
+// legally subsumed by write-buffer coalescing before any accept could
+// observe them — the image then already holds the newer committed value).
+//
+// Barrier teeth: when a boundary arms, the checker snapshots the core's
+// outstanding (word, newest seq) set; when the boundary completes, every
+// snapshotted store must have retired — a barrier released with outstanding
+// persists, an off-by-one snapshot, or a coalescing path that drops a word
+// all trip this.
+type persistChecker struct {
+	outstanding map[uint64][]pendingStore
+	lastDurable map[uint64]uint64
+	armed       []map[uint64]int // per core: word -> newest outstanding seq at arm
+
+	accepts   uint64
+	barriers  uint64
+	unmatched uint64 // accepts carrying values no outstanding store explains
+	viol      *PersistViolation
+}
+
+func newPersistChecker(cores int) *persistChecker {
+	return &persistChecker{
+		outstanding: make(map[uint64][]pendingStore),
+		lastDurable: make(map[uint64]uint64),
+		armed:       make([]map[uint64]int, cores),
+	}
+}
+
+// reset clears accept-stream state across a power failure (the volatile
+// persist path is gone; recovery rewrites the image outside the stream).
+func (p *persistChecker) reset() {
+	p.outstanding = make(map[uint64][]pendingStore)
+	p.lastDurable = make(map[uint64]uint64)
+	for i := range p.armed {
+		p.armed[i] = nil
+	}
+}
+
+func (p *persistChecker) observeCommitStore(core, seq int, addr, val uint64) {
+	q := p.outstanding[addr]
+	if len(q) == 0 {
+		if last, ok := p.lastDurable[addr]; ok && last == val {
+			// Already durable: the sync-persist ablation accepts a store's
+			// writeback before letting it retire, so the accept preceded
+			// this commit observation.
+			return
+		}
+	}
+	p.outstanding[addr] = append(q, pendingStore{core: core, seq: seq, val: val})
+}
+
+func (p *persistChecker) observeAccept(cycle, line uint64, words *isa.LineWords) {
+	words.Range(line, func(addr, val uint64) {
+		p.accepts++
+		q := p.outstanding[addr]
+		for i := len(q) - 1; i >= 0; i-- {
+			if q[i].val == val {
+				// i and every older same-word store are durable (or
+				// subsumed); keep only the newer tail outstanding.
+				if tail := q[i+1:]; len(tail) == 0 {
+					delete(p.outstanding, addr)
+				} else {
+					p.outstanding[addr] = tail
+				}
+				p.lastDurable[addr] = val
+				return
+			}
+		}
+		if last, ok := p.lastDurable[addr]; ok && last == val {
+			return // idempotent re-accept (eviction of an already-durable value)
+		}
+		// A value no outstanding store explains: legal when the accept beat
+		// the commit observation (sync-persist ablation) or when a newer
+		// accept already retired the store (duplicate orderings). Counted,
+		// not fatal; the barrier and image checks are the hard invariants.
+		p.unmatched++
+		p.lastDurable[addr] = val
+	})
+}
+
+func (p *persistChecker) observeBarrierArm(core int) {
+	snap := make(map[uint64]int)
+	for addr, q := range p.outstanding {
+		for i := len(q) - 1; i >= 0; i-- {
+			if q[i].core == core {
+				snap[addr] = q[i].seq
+				break
+			}
+		}
+	}
+	p.armed[core] = snap
+}
+
+func (p *persistChecker) observeBarrierComplete(core int, cycle uint64, cause pipeline.BoundaryCause) {
+	p.barriers++
+	snap := p.armed[core]
+	p.armed[core] = nil
+	if len(snap) == 0 {
+		return
+	}
+	addrs := make([]uint64, 0, len(snap))
+	for addr := range snap {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		limit := snap[addr]
+		for _, st := range p.outstanding[addr] {
+			if st.core == core && st.seq <= limit {
+				p.viol = &PersistViolation{
+					Kind: "barrier-incomplete", Core: core, Cycle: cycle,
+					Addr: addr, Seq: st.seq, Got: st.val,
+					Detail: fmt.Sprintf("%s boundary completed at cycle %d but the store at seq %d ([%#x] <- %#x) committed before the barrier armed and is not durable",
+						cause, cycle, st.seq, addr, st.val),
+				}
+				return
+			}
+		}
+	}
+}
+
+// CheckFinal compares the durable image against the accept stream's record:
+// every word the stream marked durable must hold that value in the image.
+// Valid only for schemes whose sole image-write path is the observed WPQ
+// accept (asynchronous persistence without a redo path); multicore gates
+// the call accordingly.
+func (m *Machine) CheckFinal(img WordReader) error {
+	if err := m.Err(); err != nil {
+		return err
+	}
+	p := m.persist
+	addrs := make([]uint64, 0, len(p.lastDurable))
+	for addr := range p.lastDurable {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		want := p.lastDurable[addr]
+		if got := img.ReadWord(addr); got != want {
+			p.viol = &PersistViolation{
+				Kind: "durable-image-mismatch", Core: -1, Addr: addr,
+				Got: got, Want: want,
+				Detail: fmt.Sprintf("durable image holds %#x but the accept stream last accepted %#x", got, want),
+			}
+			return m.Err()
+		}
+	}
+	return nil
+}
+
+// CheckRecovered asserts the post-recovery contract: the recovered NVM
+// image equals the golden model's memory at each core's committed prefix,
+// and recovery resumed each core at the prefix the oracle tracked.
+// committed gives each core's committed-instruction count at the crash.
+func (m *Machine) CheckRecovered(img WordReader, committed []int) error {
+	if err := m.Err(); err != nil {
+		return err
+	}
+	for core, cm := range m.cores {
+		if committed != nil && committed[core] != cm.next {
+			m.persist.viol = &PersistViolation{
+				Kind: "recovered-count-mismatch", Core: core,
+				Got: uint64(committed[core]), Want: uint64(cm.next),
+				Detail: fmt.Sprintf("machine reports %d committed instructions, oracle checked %d", committed[core], cm.next),
+			}
+			return m.Err()
+		}
+		snap := cm.mem.Snapshot()
+		addrs := make([]uint64, 0, len(snap))
+		for addr := range snap {
+			addrs = append(addrs, addr)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, addr := range addrs {
+			want := snap[addr]
+			if got := img.ReadWord(addr); got != want {
+				m.persist.viol = &PersistViolation{
+					Kind: "recovered-image-mismatch", Core: core, Addr: addr,
+					Got: got, Want: want,
+					Detail: fmt.Sprintf("recovered NVM holds %#x, oracle's committed prefix (%d insts) wrote %#x", got, cm.next, want),
+				}
+				return m.Err()
+			}
+		}
+	}
+	return nil
+}

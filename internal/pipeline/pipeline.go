@@ -19,6 +19,7 @@ import (
 
 	"ppa/internal/cache"
 	"ppa/internal/isa"
+	"ppa/internal/mutation"
 	"ppa/internal/obs"
 	"ppa/internal/persist"
 	"ppa/internal/rename"
@@ -301,6 +302,12 @@ type Core struct {
 	lastDrainWaitCycle uint64
 
 	rngState uint64 // deterministic branch-outcome hash state
+
+	// sink receives the commit stream for lockstep checking (nil when no
+	// oracle is attached — the commit path pays one nil check). sinkEv is
+	// the reusable event so the hot loop stays allocation-free.
+	sink   CommitSink
+	sinkEv CommitEvent
 }
 
 // New builds a core over a program and a shared hierarchy. redo must be
@@ -471,7 +478,11 @@ func (c *Core) commitStage(cycle uint64) {
 		if e.dst.Valid() {
 			c.ren.Commit(e.dst, e.phys)
 		}
-		c.lcpc = e.pc
+		if !(mutation.Is(mutation.PipelineLCPCSkew) && e.op.IsStore()) {
+			// Seeded bug PipelineLCPCSkew: the LCPC latch misses store
+			// commits, so the recovery resume point skews.
+			c.lcpc = e.pc
+		}
 		c.committed++
 		c.st.Insts++
 		c.regionInsts++
@@ -481,6 +492,9 @@ func (c *Core) commitStage(cycle uint64) {
 		}
 		if e.op == isa.OpLoad {
 			c.lqCount--
+		}
+		if c.sink != nil {
+			c.emitCommit(e, cycle)
 		}
 		if c.robHead++; c.robHead == len(c.rob) {
 			c.robHead = 0
@@ -570,7 +584,11 @@ func (c *Core) commitStore(e *robEntry, cycle uint64) bool {
 		}
 		if !valueBearing {
 			entry.Phys = e.dataPhys
-			c.ren.MaskStoreReg(e.dataPhys)
+			if !mutation.Is(mutation.PipelineMaskSkip) {
+				// Seeded bug PipelineMaskSkip: the CSQ entry's replay
+				// source is left unpinned.
+				c.ren.MaskStoreReg(e.dataPhys)
+			}
 			if sc.MaskAllOperands {
 				c.ren.MaskStoreReg(e.srcPhys1)
 				c.ren.MaskStoreReg(e.srcPhys2)
@@ -644,12 +662,23 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 		}
 		if c.cfg.Scheme.AsyncPersist {
 			c.epochSnapSeq = c.hier.CurrentPersistSeq(c.cfg.CoreID)
+			if mutation.Is(mutation.PipelineBarrierSnapshotOffByOne) {
+				// Seeded bug: the snapshot misses the newest write-buffer
+				// entry, so the barrier stops waiting one entry early.
+				c.epochSnapSeq--
+			}
 			// The boundary needs the region durable as soon as possible:
 			// cancel the lazy-coalescing lag of pending writebacks.
 			c.hier.FlushWB(c.cfg.CoreID, cycle)
+			if c.sink != nil {
+				c.sink.ObserveBarrierArm(c.cfg.CoreID, cycle)
+			}
 		}
 	}
-	if c.cfg.Scheme.AsyncPersist && !c.hier.PersistedThrough(c.cfg.CoreID, c.epochSnapSeq) {
+	if c.cfg.Scheme.AsyncPersist && !c.hier.PersistedThrough(c.cfg.CoreID, c.epochSnapSeq) &&
+		!mutation.Is(mutation.PipelineBarrierEarlyRelease) {
+		// The mutation guard is seeded bug PipelineBarrierEarlyRelease:
+		// the barrier releases without waiting for the snapshot to drain.
 		c.noteDrainWait(cycle)
 		return false
 	}
@@ -683,6 +712,9 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 	c.closeRegionStats(cycle, cause, cycle-c.epochArmedAt)
 	c.epochArmed = false
 	c.eagerFlushed = false
+	if c.sink != nil && c.cfg.Scheme.AsyncPersist {
+		c.sink.ObserveBarrierComplete(c.cfg.CoreID, cycle, cause)
+	}
 	return true
 }
 

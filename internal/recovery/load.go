@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"ppa/internal/checkpoint"
+	"ppa/internal/mutation"
 	"ppa/internal/nvm"
 )
 
@@ -78,6 +79,11 @@ func ReplayN(dev *nvm.Device, im *checkpoint.Image, n int) (*Outcome, error) {
 	}
 	regs := im.RegLookup()
 	out := &Outcome{CoreID: im.CoreID}
+	if mutation.Is(mutation.RecoveryReplayOffByOne) && n > 0 {
+		// Seeded bug RecoveryReplayOffByOne: replay stops one entry short,
+		// silently dropping the newest committed store.
+		n--
+	}
 	for _, e := range im.CSQ[:n] {
 		var val uint64
 		if e.ValueBearing {

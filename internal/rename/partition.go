@@ -1,0 +1,103 @@
+package rename
+
+import "fmt"
+
+// Ownership states for CheckPartition. Every physical register must be in
+// exactly one of them at any architectural instant.
+const (
+	ownFree = 1 << iota
+	ownCRT
+	ownDeferred
+	ownInFlight
+)
+
+func ownName(bit int) string {
+	switch bit {
+	case ownFree:
+		return "free-list"
+	case ownCRT:
+		return "CRT"
+	case ownDeferred:
+		return "deferred"
+	case ownInFlight:
+		return "in-flight"
+	default:
+		return "?"
+	}
+}
+
+// CheckPartition asserts the fundamental renaming invariant: the free list,
+// the CRT's committed mappings, the deferred (MaskReg-pinned, displaced)
+// list, and the caller-supplied in-flight destination registers partition
+// the physical register file exactly — every register owned exactly once,
+// no leaks, no double-frees, no aliased CRT entries. It also checks that
+// deferred registers carry their mask bit (a deferral without a pin would
+// never reclaim), that no free register is masked, and that the RAT only
+// maps to committed or in-flight registers.
+//
+// inFlight lists the destination physical registers of renamed-but-not-yet
+// committed instructions (pipeline.Core.InFlightPhys provides it for a live
+// machine). It returns the first violation found, or nil.
+func (r *Renamer) CheckPartition(inFlight []PhysRef) error {
+	for _, f := range [...]*file{r.intF, r.fpF} {
+		owner := make([]int, len(f.vals))
+		claim := func(idx uint16, bit int) error {
+			if int(idx) >= len(owner) {
+				return fmt.Errorf("rename: %s %s entry p%d outside file of %d",
+					f.class, ownName(bit), idx, len(owner))
+			}
+			if owner[idx] != 0 {
+				return fmt.Errorf("rename: %s p%d owned by both %s and %s",
+					f.class, idx, ownName(owner[idx]), ownName(bit))
+			}
+			owner[idx] = bit
+			return nil
+		}
+		for _, idx := range f.free {
+			if err := claim(idx, ownFree); err != nil {
+				return err
+			}
+		}
+		for a, idx := range f.crt {
+			if err := claim(idx, ownCRT); err != nil {
+				return fmt.Errorf("%w (CRT arch %d)", err, a)
+			}
+		}
+		for _, idx := range f.deferred {
+			if err := claim(idx, ownDeferred); err != nil {
+				return err
+			}
+		}
+		for _, p := range inFlight {
+			if p.Class != f.class {
+				continue
+			}
+			if err := claim(p.Idx, ownInFlight); err != nil {
+				return err
+			}
+		}
+		for idx, own := range owner {
+			if own == 0 {
+				return fmt.Errorf("rename: %s p%d leaked — not free, committed, deferred, or in flight",
+					f.class, idx)
+			}
+		}
+		for _, idx := range f.deferred {
+			if !f.masked[idx] {
+				return fmt.Errorf("rename: %s p%d deferred but not masked", f.class, idx)
+			}
+		}
+		for _, idx := range f.free {
+			if f.masked[idx] {
+				return fmt.Errorf("rename: %s p%d free but masked", f.class, idx)
+			}
+		}
+		for a, idx := range f.rat {
+			if owner[idx] != ownCRT && owner[idx] != ownInFlight {
+				return fmt.Errorf("rename: %s RAT arch %d maps p%d, which is %s",
+					f.class, a, idx, ownName(owner[idx]))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package rename
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ppa/internal/isa"
+	"ppa/internal/mutation"
+)
+
+// The partition property: at every architectural instant, the free list,
+// the CRT's committed mappings, the deferred (masked, displaced) list, and
+// the in-flight destination registers own the physical register file
+// exactly — each register in exactly one place. The test drives the renamer
+// with random instruction streams shaped like the pipeline's use of it
+// (in-order commit, store data registers captured at rename and masked at
+// commit, region boundaries keeping a CSQ-survivor suffix) and checks the
+// partition after every operation.
+
+// inflightEntry mirrors one ROB entry's rename-relevant state.
+type inflightEntry struct {
+	arch     isa.Reg
+	phys     PhysRef // destination allocation (invalid for stores)
+	isStore  bool
+	dataPhys PhysRef // store data register, captured at rename
+}
+
+func TestPartitionPropertyRandomStreams(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runPartitionStream(t, seed, 4000)
+		})
+	}
+}
+
+func runPartitionStream(t testing.TB, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	// Small files force frequent PRF-exhaustion boundaries (8 spare
+	// registers per class beyond the architectural mappings).
+	r := New(Config{IntPhysRegs: isa.NumIntRegs + 8, FPPhysRegs: isa.NumFPRegs + 8})
+
+	var rob []inflightEntry // program order; commit pops from the front
+	var csq []PhysRef       // masked data regs of stores committed this region
+
+	inFlight := func() []PhysRef {
+		out := make([]PhysRef, 0, len(rob))
+		for _, e := range rob {
+			if e.phys.Valid() {
+				out = append(out, e.phys)
+			}
+		}
+		return out
+	}
+	check := func(step int, op string) {
+		t.Helper()
+		if err := r.CheckPartition(inFlight()); err != nil {
+			t.Fatalf("seed %d step %d after %s: %v", seed, step, op, err)
+		}
+	}
+	randReg := func() isa.Reg {
+		if rng.Intn(2) == 0 {
+			return isa.Int(rng.Intn(isa.NumIntRegs))
+		}
+		return isa.FP(rng.Intn(isa.NumFPRegs))
+	}
+	commitOldest := func() {
+		e := rob[0]
+		rob = rob[1:]
+		if e.isStore {
+			// The pipeline masks the store's data register at commit so the
+			// CSQ's replay source survives until the region persists.
+			r.MaskStoreReg(e.dataPhys)
+			csq = append(csq, e.dataPhys)
+			return
+		}
+		r.Commit(e.arch, e.phys)
+	}
+	boundary := func(keepN int) {
+		// Region boundary: survivors (stores committed after the barrier
+		// armed) keep their pins, everything else reclaims — the pipeline's
+		// ReclaimMaskedExcept(csq[epochCSQMark:]) shape.
+		if keepN > len(csq) {
+			keepN = len(csq)
+		}
+		keep := csq[len(csq)-keepN:]
+		r.ReclaimMaskedExcept(keep)
+		csq = append(csq[:0:0], keep...)
+	}
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // definition
+			a := randReg()
+			phys, ok := r.TryRename(a)
+			if !ok {
+				// PRF exhausted: the pipeline drains in-flight work, ends
+				// the region, and retries — survivors first, then, if the
+				// file is still dry, a full reclaim.
+				for len(rob) > 0 {
+					commitOldest()
+				}
+				boundary(rng.Intn(len(csq) + 1))
+				check(step, "exhaustion boundary")
+				if phys, ok = r.TryRename(a); !ok {
+					boundary(0)
+					check(step, "full-reclaim boundary")
+					if phys, ok = r.TryRename(a); !ok {
+						t.Fatalf("seed %d step %d: no free register after full reclaim", seed, step)
+					}
+				}
+			}
+			r.Write(phys, rng.Uint64(), uint64(step))
+			rob = append(rob, inflightEntry{arch: a, phys: phys})
+			check(step, "rename")
+		case op < 6: // store: data register resolved at rename, no allocation
+			rob = append(rob, inflightEntry{isStore: true, dataPhys: r.Lookup(randReg())})
+			check(step, "store rename")
+		case op < 9: // in-order commit
+			if len(rob) > 0 {
+				commitOldest()
+				check(step, "commit")
+			}
+		default: // region boundary with a random survivor suffix
+			boundary(rng.Intn(len(csq) + 1))
+			check(step, "boundary")
+		}
+	}
+	// Drain and close the final region: every register must end up free,
+	// committed, or deferred — nothing leaked across the whole stream.
+	for len(rob) > 0 {
+		commitOldest()
+	}
+	boundary(0)
+	check(steps, "final drain")
+	if got := r.MaskedCount(); got != 0 {
+		t.Fatalf("seed %d: %d mask bits survive a full boundary", seed, got)
+	}
+}
+
+// TestCheckPartitionTeeth corrupts the renamer's state directly and demands
+// CheckPartition notices each class of damage — otherwise the property test
+// above proves nothing.
+func TestCheckPartitionTeeth(t *testing.T) {
+	fresh := func() *Renamer {
+		return New(Config{IntPhysRegs: isa.NumIntRegs + 4, FPPhysRegs: isa.NumFPRegs + 4})
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		if err := fresh().CheckPartition(nil); err != nil {
+			t.Fatalf("reset renamer must partition cleanly: %v", err)
+		}
+	})
+	t.Run("double-free", func(t *testing.T) {
+		r := fresh()
+		r.intF.free = append(r.intF.free, r.intF.free[0])
+		if err := r.CheckPartition(nil); err == nil {
+			t.Fatal("duplicated free-list entry not detected")
+		}
+	})
+	t.Run("leak", func(t *testing.T) {
+		r := fresh()
+		r.intF.free = r.intF.free[:len(r.intF.free)-1]
+		if err := r.CheckPartition(nil); err == nil {
+			t.Fatal("leaked register not detected")
+		}
+	})
+	t.Run("free-and-committed", func(t *testing.T) {
+		r := fresh()
+		r.intF.free = append(r.intF.free, r.intF.crt[0])
+		if err := r.CheckPartition(nil); err == nil {
+			t.Fatal("register owned by both free list and CRT not detected")
+		}
+	})
+	t.Run("masked-free", func(t *testing.T) {
+		r := fresh()
+		r.intF.masked[r.intF.free[0]] = true
+		if err := r.CheckPartition(nil); err == nil {
+			t.Fatal("masked free register not detected")
+		}
+	})
+	t.Run("deferred-unmasked", func(t *testing.T) {
+		r := fresh()
+		idx := r.intF.free[len(r.intF.free)-1]
+		r.intF.free = r.intF.free[:len(r.intF.free)-1]
+		r.intF.deferred = append(r.intF.deferred, idx)
+		if err := r.CheckPartition(nil); err == nil {
+			t.Fatal("deferred-but-unmasked register not detected")
+		}
+	})
+	t.Run("rat-to-free", func(t *testing.T) {
+		r := fresh()
+		r.intF.rat[3] = r.intF.free[0]
+		if err := r.CheckPartition(nil); err == nil {
+			t.Fatal("RAT mapping to a free register not detected")
+		}
+	})
+	t.Run("inflight-free-overlap", func(t *testing.T) {
+		r := fresh()
+		p := PhysRef{Class: isa.ClassInt, Idx: r.intF.free[0]}
+		if err := r.CheckPartition([]PhysRef{p}); err == nil {
+			t.Fatal("in-flight register still on the free list not detected")
+		}
+	})
+}
+
+// TestPartitionUnderSeededBugs: the two rename mutations must each break
+// the partition under the same random streams — the property test is part
+// of what gives the mutation gate its teeth.
+func TestPartitionUnderSeededBugs(t *testing.T) {
+	// Not parallel: mutations are process-global state.
+	for _, m := range []mutation.Mutation{mutation.RenameReclaimMaskedEarly, mutation.RenameCRTStaleTag} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			mutation.Enable(m)
+			defer mutation.Disable()
+			caught := false
+			for seed := int64(0); seed < 10 && !caught; seed++ {
+				caught = partitionStreamViolates(seed, 4000)
+			}
+			if !caught {
+				t.Fatalf("seeded bug %s never broke the partition across 10 random streams", m)
+			}
+		})
+	}
+}
+
+// partitionStreamViolates replays the property stream and reports whether
+// any step violated the partition (instead of failing the test).
+func partitionStreamViolates(seed int64, steps int) (violated bool) {
+	probe := &partitionProbe{}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(probeStop); !ok {
+				panic(r)
+			}
+		}
+		violated = probe.failed
+	}()
+	runPartitionStream(probe, seed, steps)
+	return probe.failed
+}
+
+// probeStop unwinds the stream at the first recorded failure, standing in
+// for Fatalf's goroutine exit.
+type probeStop struct{}
+
+// partitionProbe satisfies the subset of testing.TB the stream uses,
+// recording the first failure instead of failing a test.
+type partitionProbe struct {
+	testing.TB
+	failed bool
+}
+
+func (p *partitionProbe) Helper()                       {}
+func (p *partitionProbe) Fatalf(string, ...interface{}) { p.failed = true; panic(probeStop{}) }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ppa/internal/isa"
+	"ppa/internal/mutation"
 )
 
 // PhysRef names one physical register.
@@ -164,11 +165,18 @@ func (r *Renamer) ReadyAt(p PhysRef) uint64 {
 func (r *Renamer) Commit(a isa.Reg, phys PhysRef) {
 	f := r.fileOf(a.Class)
 	displaced := f.crt[a.Index]
-	f.crt[a.Index] = phys.Idx
+	if !mutation.Is(mutation.RenameCRTStaleTag) {
+		// Seeded bug RenameCRTStaleTag: the CRT keeps the displaced
+		// mapping, so the committed map carries a stale tag.
+		f.crt[a.Index] = phys.Idx
+	}
 	if displaced == phys.Idx {
 		return
 	}
-	if f.masked[displaced] {
+	if f.masked[displaced] && !mutation.Is(mutation.RenameReclaimMaskedEarly) {
+		// The mutation guard is seeded bug RenameReclaimMaskedEarly: a
+		// MaskReg-pinned register frees immediately instead of deferring
+		// to the region boundary.
 		f.deferred = append(f.deferred, displaced)
 		r.DeferredFrees++
 		return

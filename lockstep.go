@@ -1,0 +1,233 @@
+package ppa
+
+import (
+	"fmt"
+
+	"ppa/internal/mutation"
+	"ppa/internal/oracle"
+)
+
+// This file is the public face of the differential lockstep oracle
+// (internal/oracle) and its mutation-testing gate: the campaign that proves
+// the oracle and the crash-consistency checks actually catch bugs, by
+// enabling each seeded single-site bug in turn and demanding a catch.
+
+// Re-exported oracle report types (RunConfig.Lockstep attaches the oracle;
+// a disagreement surfaces as an *OracleError from the run).
+type (
+	// OracleReport is the oracle's whole-run summary.
+	OracleReport = oracle.Report
+	// OracleDivergence is the first commit where machine and golden model
+	// disagreed.
+	OracleDivergence = oracle.Divergence
+	// OraclePersistViolation is the first persist-ordering breach.
+	OraclePersistViolation = oracle.PersistViolation
+	// OracleError carries an OracleReport out of a run as the error.
+	OracleError = oracle.DivergenceError
+)
+
+// SeededBug describes one mutation from the seeded-bug registry.
+type SeededBug struct {
+	// ID is the bug's stable kebab-case identifier.
+	ID string `json:"id"`
+	// Site is the source location of the guarded bug.
+	Site string `json:"site"`
+	// Description is a one-line summary of the misbehaviour.
+	Description string `json:"description"`
+}
+
+// SeededBugs lists the mutation registry in stable order.
+func SeededBugs() []SeededBug {
+	ms := mutation.All()
+	out := make([]SeededBug, len(ms))
+	for i, m := range ms {
+		out[i] = SeededBug{ID: m.String(), Site: m.Site(), Description: m.Description()}
+	}
+	return out
+}
+
+// MutationOutcome is one seeded bug's verdict.
+type MutationOutcome struct {
+	Bug    SeededBug `json:"bug"`
+	Caught bool      `json:"caught"`
+	// CaughtBy names the first check that tripped: "clean-run" (lockstep
+	// divergence, persist violation, or durable-image mismatch during an
+	// uninterrupted run) or "crash-campaign" (recovery error, committed-
+	// prefix inconsistency, arch-state mismatch, or oracle recovery check).
+	CaughtBy string `json:"caught_by,omitempty"`
+	// FailCycle is the crash cycle that caught it (crash-campaign only).
+	FailCycle uint64 `json:"fail_cycle,omitempty"`
+	// Detail is the catching check's message.
+	Detail string `json:"detail,omitempty"`
+}
+
+// MutationCampaignConfig parameterizes RunMutationCampaign.
+type MutationCampaignConfig struct {
+	// App is the workload (default "mcf" — store-dense with enough PRF
+	// pressure to form dynamic regions).
+	App string
+	// Scheme is the persistence scheme under test (default SchemePPA; the
+	// seeded bugs live in the PPA hardware and its recovery path).
+	Scheme Scheme
+	// InstsPerThread is the per-thread instruction count (default 6000).
+	InstsPerThread int
+	// FailPoints is how many crash cycles each bug's crash campaign tries
+	// (default 6).
+	FailPoints int
+	// Seed drives the crash-cycle schedule.
+	Seed int64
+}
+
+// MutationCampaignReport is the campaign verdict, JSON-marshalable for the
+// CI artifact. With a fixed config it is byte-for-byte deterministic.
+type MutationCampaignReport struct {
+	App            string            `json:"app"`
+	Scheme         Scheme            `json:"scheme"`
+	InstsPerThread int               `json:"insts_per_thread"`
+	FailCycles     []uint64          `json:"fail_cycles"`
+	BaselineClean  bool              `json:"baseline_clean"`
+	BaselineDetail string            `json:"baseline_detail,omitempty"`
+	Outcomes       []MutationOutcome `json:"outcomes"`
+	Caught         int               `json:"caught"`
+	Total          int               `json:"total"`
+}
+
+// AllCaught reports the gate verdict: no false alarms on the unmutated
+// simulator, and every seeded bug caught.
+func (r *MutationCampaignReport) AllCaught() bool {
+	return r.BaselineClean && r.Caught == r.Total
+}
+
+func (r *MutationCampaignReport) String() string {
+	verdict := "PASS"
+	if !r.AllCaught() {
+		verdict = "FAIL"
+	}
+	s := fmt.Sprintf("mutation gate %s: %d/%d seeded bugs caught on %s/%s (baseline clean: %v)",
+		verdict, r.Caught, r.Total, r.App, r.Scheme, r.BaselineClean)
+	for _, o := range r.Outcomes {
+		if !o.Caught {
+			s += fmt.Sprintf("\n  MISSED %s (%s): %s", o.Bug.ID, o.Bug.Site, o.Bug.Description)
+		}
+	}
+	return s
+}
+
+// RunMutationCampaign proves the verification tooling has teeth: for each
+// seeded bug it runs the workload under the lockstep oracle — first
+// uninterrupted, then crashed at each scheduled cycle and recovered — and
+// records which check caught the bug. The unmutated simulator runs the same
+// gauntlet first and must come through clean.
+//
+// The mutation registry is process-global state flipped between
+// simulations, so campaigns must not run concurrently with other
+// simulations in the same process.
+func RunMutationCampaign(cc MutationCampaignConfig) (*MutationCampaignReport, error) {
+	if cc.App == "" {
+		cc.App = "mcf"
+	}
+	if cc.Scheme == "" {
+		cc.Scheme = SchemePPA
+	}
+	if cc.InstsPerThread <= 0 {
+		cc.InstsPerThread = 6000
+	}
+	if cc.FailPoints <= 0 {
+		cc.FailPoints = 6
+	}
+	mutation.Disable()
+	defer mutation.Disable()
+
+	rc := RunConfig{App: cc.App, Scheme: cc.Scheme, InstsPerThread: cc.InstsPerThread, Lockstep: true}
+	rep := &MutationCampaignReport{App: cc.App, Scheme: cc.Scheme, InstsPerThread: cc.InstsPerThread}
+
+	// Probe the healthy run once: its length bounds the crash schedule, and
+	// it doubles as the baseline's clean-run leg.
+	probe, err := Run(rc)
+	if err != nil {
+		rep.BaselineDetail = fmt.Sprintf("clean run: %v", err)
+		return rep, nil
+	}
+	maxCycle := probe.Cycles
+	if maxCycle < 1000 {
+		maxCycle = 1000
+	}
+	sched := FailRandomly(cc.Seed, cc.FailPoints, maxCycle/20, maxCycle)
+	var after uint64
+	for {
+		cycle, ok := sched.Next(after)
+		if !ok {
+			break
+		}
+		after = cycle
+		rep.FailCycles = append(rep.FailCycles, cycle)
+	}
+
+	// Baseline crash campaign: the unmutated simulator must survive every
+	// scheduled crash with a clean oracle and a consistent recovery.
+	rep.BaselineClean = true
+	for _, cycle := range rep.FailCycles {
+		if by, detail := crashTrial(rc, cycle); by != "" {
+			rep.BaselineClean = false
+			rep.BaselineDetail = fmt.Sprintf("false alarm at cycle %d (%s): %s", cycle, by, detail)
+			break
+		}
+	}
+
+	for _, m := range mutation.All() {
+		bug := SeededBug{ID: m.String(), Site: m.Site(), Description: m.Description()}
+		mutation.Enable(m)
+		out := probeMutation(rc, bug, rep.FailCycles)
+		mutation.Disable()
+		rep.Outcomes = append(rep.Outcomes, out)
+		rep.Total++
+		if out.Caught {
+			rep.Caught++
+		}
+	}
+	return rep, nil
+}
+
+// probeMutation runs one seeded bug through the gauntlet and reports the
+// first check that caught it.
+func probeMutation(rc RunConfig, bug SeededBug, failCycles []uint64) MutationOutcome {
+	out := MutationOutcome{Bug: bug}
+	// Leg 1: an uninterrupted lockstep run. Catches value-path and
+	// persist-ordering bugs without needing a crash.
+	if _, err := Run(rc); err != nil {
+		out.Caught = true
+		out.CaughtBy = "clean-run"
+		out.Detail = err.Error()
+		return out
+	}
+	// Leg 2: crash, recover, verify — at each scheduled cycle until caught.
+	for _, cycle := range failCycles {
+		if by, detail := crashTrial(rc, cycle); by != "" {
+			out.Caught = true
+			out.CaughtBy = "crash-campaign"
+			out.FailCycle = cycle
+			out.Detail = fmt.Sprintf("%s: %s", by, detail)
+			return out
+		}
+	}
+	return out
+}
+
+// crashTrial runs one crash-and-recover trial and names the first failing
+// check ("" when the trial is clean or the run finished before the crash).
+func crashTrial(rc RunConfig, cycle uint64) (by, detail string) {
+	out, err := RunWithFailure(rc, cycle)
+	switch {
+	case err != nil:
+		return "recovery-error", err.Error()
+	case out.CompletedBeforeFailure:
+		return "", ""
+	case out.OracleViolation != "":
+		return "oracle-recovery-check", out.OracleViolation
+	case !out.Consistent:
+		return "committed-prefix", fmt.Sprintf("%d inconsistent words", out.Inconsistencies)
+	case !out.ArchConsistent:
+		return "arch-state", "recovered committed register state diverged from golden"
+	}
+	return "", ""
+}

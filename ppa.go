@@ -101,6 +101,11 @@ type RunConfig struct {
 	// itself nil unless a tool installed one); a nil hub disables
 	// instrumentation entirely.
 	Obs *obs.Hub
+	// Lockstep attaches the differential oracle (internal/oracle): every
+	// committed instruction is cross-checked against an ISA-level golden
+	// model and the NVM accept stream against PPA's persist-ordering
+	// invariants. A divergence surfaces as an *OracleError from the run.
+	Lockstep bool
 }
 
 // DefaultObs, when non-nil, is attached to every system NewSystem builds
@@ -216,6 +221,7 @@ func NewSystem(rc RunConfig) (*multicore.System, error) {
 	}
 	cfg := multicore.DefaultConfig(len(w.Threads), sch)
 	cfg.Pipeline.SampleFreeRegs = rc.SampleFreeRegs
+	cfg.Lockstep = rc.Lockstep
 	cfg.Obs = rc.Obs
 	if cfg.Obs == nil {
 		cfg.Obs = DefaultObs
@@ -271,6 +277,13 @@ type FailureOutcome struct {
 	// ResumedResult is the result of resuming every core after recovery
 	// and running to completion (nil if the run completed pre-failure).
 	ResumedResult *Result
+	// OracleChecked is true when the run carried the lockstep oracle and
+	// its post-recovery image check ran (RunConfig.Lockstep on a scheme
+	// whose recovery contract the oracle models).
+	OracleChecked bool
+	// OracleViolation is the oracle's post-recovery verdict when it
+	// disagreed with the machine (empty when clean or unchecked).
+	OracleViolation string
 }
 
 // RunWithFailure runs a simulation, cuts power at failCycle, JIT-checkpoints
@@ -354,12 +367,23 @@ func RunWithFailure(rc RunConfig, failCycle uint64) (*FailureOutcome, error) {
 		}
 	}
 
+	// The oracle's second opinion on recovery: the recovered NVM image must
+	// equal the golden model's memory at each core's committed prefix. Only
+	// PPA's recovery path promises that contract (comparison schemes are
+	// run to measure how badly they miss it), so the check gates on Kind.
+	if m := sys.Oracle(); m != nil && sch.Kind == persist.PPA {
+		out.OracleChecked = true
+		if oerr := m.CheckRecovered(dev.Image(), committed); oerr != nil {
+			out.OracleViolation = oerr.Error()
+		}
+	}
+
 	// Recovery is complete: invalidate the checkpoint area so a later
 	// outage cannot be confused with this one, then resume each interrupted
 	// program right after its LCPC on a fresh machine state (the caches are
 	// cold, as after a real outage).
 	dev.ClearCheckpoint()
-	resumed, err := resumeAfterFailure(prof, sch, insts, sys, committed)
+	resumed, err := resumeAfterFailure(prof, sch, insts, sys, committed, rc.Lockstep)
 	if err != nil {
 		return nil, err
 	}
@@ -370,12 +394,13 @@ func RunWithFailure(rc RunConfig, failCycle uint64) (*FailureOutcome, error) {
 // resumeAfterFailure rebuilds the machine around the surviving NVM device
 // and continues every thread from its committed prefix.
 func resumeAfterFailure(prof workload.Profile, sch persist.Config, insts int,
-	crashed *multicore.System, committed []int) (*Result, error) {
+	crashed *multicore.System, committed []int, lockstep bool) (*Result, error) {
 	w, err := workload.New(prof, insts)
 	if err != nil {
 		return nil, err
 	}
 	cfg := multicore.DefaultConfig(len(w.Threads), sch)
+	cfg.Lockstep = lockstep
 	sys, err := multicore.NewSystemResumed(cfg, w, crashed.Device(), committed)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package ppa
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +10,7 @@ import (
 	"ppa/internal/fault"
 	"ppa/internal/multicore"
 	"ppa/internal/obs"
+	"ppa/internal/oracle"
 	"ppa/internal/recovery"
 	"ppa/internal/sweep"
 )
@@ -153,6 +155,14 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 
 	done, err := sys.RunUntil(p.Cycle)
 	if err != nil {
+		// A lockstep divergence is a verdict about the machine, not a
+		// harness failure: report it as the point's violation so an
+		// oracle-checked sweep keeps going and aggregates it.
+		var de *oracle.DivergenceError
+		if errors.As(err, &de) {
+			out.Violation = err.Error()
+			return out, nil
+		}
 		return nil, err
 	}
 	if done {
@@ -274,9 +284,22 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 		}
 		if out.Inconsistencies > 0 {
 			out.Violation = fmt.Sprintf("committed-prefix violation: %d words lost", out.Inconsistencies)
-		} else {
-			dev.ClearCheckpoint()
+			break
 		}
+		// The oracle's independent verdict on the same recovery: the NVM
+		// image must equal the golden model's memory at each core's
+		// committed prefix, and the committed counts must agree.
+		if m := sys.Oracle(); m != nil {
+			committed := make([]int, len(sys.Cores()))
+			for _, im := range images {
+				committed[im.CoreID] = im.Committed
+			}
+			if oerr := m.CheckRecovered(dev.Image(), committed); oerr != nil {
+				out.Violation = oerr.Error()
+				break
+			}
+		}
+		dev.ClearCheckpoint()
 	}
 	return out, nil
 }
