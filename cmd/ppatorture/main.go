@@ -10,6 +10,8 @@
 //	ppatorture -app mcf -scheme ppa -points 2000
 //	ppatorture -app gcc -insts 4000 -points 500 -seed 7 -out report.json
 //	ppatorture -repro repro.json             # replay a saved reproducer
+//	ppatorture -points 2000 -fabric :7077    # distribute: serve units to
+//	                                         # ppafabric workers and merge
 package main
 
 import (
@@ -18,10 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"time"
 
 	"ppa"
+	"ppa/internal/fabric"
 	"ppa/internal/fault"
+	"ppa/internal/obs"
 	internalsweep "ppa/internal/sweep"
 )
 
@@ -42,10 +48,23 @@ func main() {
 	replayPath := flag.String("replay", "", "replay a saved reproducer JSON and exit")
 	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot as JSON Lines")
 	serveAddr := flag.String("serve", "", "serve live observability over HTTP for the duration of the sweep (endpoints /metrics, /snapshot.json, /trace); torture.points/violations tick live, per-worker simulator metrics merge in at sweep end")
-	workers := flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential; in -fabric mode, the in-process worker's simulation parallelism)")
 	verbose := flag.Bool("v", false, "print every point's verdict")
 	oracleFlag := flag.Bool("oracle", false, "run every point under the differential lockstep oracle: commit-stream divergences and post-recovery image mismatches count as violations")
+	fabricAddr := flag.String("fabric", "", "distribute the sweep: serve it as a fabric coordinator on this address (ppafabric workers can join) while an in-process worker chews units")
+	fabricManifest := flag.String("fabric-manifest", "", "resumable completed-unit ledger for -fabric mode (restart over it to resume)")
+	fabricUnit := flag.Int("fabric-unit", fabric.DefaultUnitSize, "torture points per fabric work unit")
 	flag.Parse()
+
+	// Reject nonsense parallelism up front with a typed error instead of
+	// letting a negative count feed the sweep engine (0 keeps its
+	// one-worker-per-CPU meaning).
+	if err := fabric.ValidateWorkers("workers", *workers, 0); err != nil {
+		log.Fatal(err)
+	}
+	if *fabricUnit < 1 {
+		log.Fatal(&fabric.FlagError{Flag: "fabric-unit", Value: fmt.Sprint(*fabricUnit), Reason: "must be >= 1"})
+	}
 
 	hub := ppa.NewObsHub(0)
 	if *serveAddr != "" {
@@ -77,13 +96,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		var kept []ppa.TorturePoint
-		for _, p := range sweep {
-			if p.Fault.Kind == k {
-				kept = append(kept, p)
-			}
-		}
-		sweep = kept
+		sweep = ppa.FilterTorturePointsByKind(sweep, k)
 	}
 	log.Printf("sweeping %d points: app=%s scheme=%s insts=%d cycles=[%d,%d) seed=%d workers=%d",
 		len(sweep), *appFlag, *schemeFlag, *insts, *minCycle, *maxCycle, *seed,
@@ -103,7 +116,31 @@ func main() {
 			log.Printf("  %v -> %s", out.Point, status)
 		}
 	}
-	rep, err := ppa.RunTortureParallel(context.Background(), rc, sweep, *workers, onPoint)
+	var rep *ppa.TortureReport
+	var err error
+	if *fabricAddr != "" {
+		rep, err = runFabric(fabricOptions{
+			listen:   *fabricAddr,
+			manifest: *fabricManifest,
+			unit:     *fabricUnit,
+			workers:  *workers,
+			hub:      hub,
+			spec: fabric.Spec{
+				App:      *appFlag,
+				Scheme:   *schemeFlag,
+				Insts:    *insts,
+				Points:   *points,
+				Seed:     *seed,
+				MinCycle: *minCycle,
+				MaxCycle: *maxCycle,
+				Kind:     *kindFlag,
+				Oracle:   *oracleFlag,
+				UnitSize: *fabricUnit,
+			},
+		})
+	} else {
+		rep, err = ppa.RunTortureParallel(context.Background(), rc, sweep, *workers, onPoint)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,6 +187,93 @@ func main() {
 		log.Printf("reproducer written to %s", path)
 		os.Exit(1)
 	}
+}
+
+// fabricOptions parameterizes a distributed (-fabric) sweep.
+type fabricOptions struct {
+	listen   string
+	manifest string
+	unit     int
+	workers  int
+	hub      *obs.Hub
+	spec     fabric.Spec
+}
+
+// runFabric serves the sweep as a fabric coordinator on opt.listen and
+// chews units with one in-process worker, so `ppatorture -fabric :7077`
+// makes progress on its own while external `ppafabric work` processes —
+// on this host or others — join the same sweep. The merged report comes
+// back through the coordinator's deterministic point-ordered merge, so
+// the rest of main (report, metrics, shrink, exit code) is identical to
+// the single-process path.
+func runFabric(opt fabricOptions) (*ppa.TortureReport, error) {
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Spec:         opt.spec,
+		ManifestPath: opt.manifest,
+		Hub:          opt.hub,
+		Log:          log.Default(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	srv, err := coord.Serve(opt.listen)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	log.Printf("fabric coordinator on http://%s (sweep %.12s…, %d units; join with: ppafabric work -coordinator http://<host>%s)",
+		srv.Addr(), coord.SpecHash(), coord.Units(), portSuffix(srv.Addr()))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var workerErr error
+	go func() {
+		_, werr := fabric.RunWorker(ctx, fabric.WorkerConfig{
+			Coordinator: "http://" + loopback(srv.Addr()),
+			Name:        "ppatorture-local",
+			Parallel:    opt.workers,
+			Log:         log.Default(),
+		})
+		if werr != nil && ctx.Err() == nil {
+			workerErr = werr
+			cancel()
+		}
+	}()
+	rep, err := coord.Wait(ctx)
+	if err != nil {
+		if workerErr != nil {
+			return nil, workerErr
+		}
+		return nil, err
+	}
+	// Linger before the deferred server close: external workers that were
+	// idle-polling when the last unit landed learn the sweep is done from
+	// their next lease attempt instead of hitting a dead socket.
+	time.Sleep(3 * fabric.DefaultRetry)
+	return rep, nil
+}
+
+// loopback rewrites an unspecified listen host (":7077", "[::]:7077") to a
+// dialable loopback address for the in-process worker.
+func loopback(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return addr
+}
+
+// portSuffix extracts ":port" for the join hint.
+func portSuffix(addr string) string {
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return ""
+	}
+	return ":" + port
 }
 
 // replay re-runs a saved reproducer point and reports its verdict.

@@ -1,0 +1,85 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed errors for the fabric's failure modes, so CLIs and tests can
+// branch on what went wrong (errors.As) instead of grepping message text —
+// and so a worker pointed at a dead coordinator reports a crisp verdict
+// instead of hanging.
+
+// UnreachableError reports that the coordinator endpoint could not be
+// reached (connection refused, DNS failure, timeout) after the worker's
+// dial/retry budget was spent.
+type UnreachableError struct {
+	// Endpoint is the coordinator base URL the worker tried.
+	Endpoint string
+	// Err is the final transport error.
+	Err error
+}
+
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("fabric: coordinator %s unreachable: %v", e.Endpoint, e.Err)
+}
+
+func (e *UnreachableError) Unwrap() error { return e.Err }
+
+// SpecMismatchError reports that two sides of the protocol (worker vs
+// coordinator, or manifest vs coordinator) disagree on the sweep spec.
+type SpecMismatchError struct {
+	// Where names the artifact carrying the stale hash (a manifest path
+	// or the coordinator endpoint).
+	Where string
+	// Want and Got are the expected and observed spec hashes.
+	Want, Got string
+}
+
+func (e *SpecMismatchError) Error() string {
+	return fmt.Sprintf("fabric: %s was built for spec %.12s…, this sweep is spec %.12s… (delete it or rerun the original spec)",
+		e.Where, e.Got, e.Want)
+}
+
+// ProtocolError reports a malformed or out-of-contract message.
+type ProtocolError struct {
+	// Op names the protocol operation ("lease", "complete", ...).
+	Op string
+	// Detail says what was wrong.
+	Detail string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("fabric: protocol error in %s: %s", e.Op, e.Detail)
+}
+
+// FlagError reports an invalid CLI flag value. The CLIs print it and exit
+// instead of feeding nonsense into the sweep engine.
+type FlagError struct {
+	Flag   string
+	Value  string
+	Reason string
+}
+
+func (e *FlagError) Error() string {
+	return fmt.Sprintf("invalid -%s %s: %s", e.Flag, e.Value, e.Reason)
+}
+
+// ErrLeaseLost is returned (wrapped) when the coordinator no longer
+// recognizes a worker's lease — it expired and the unit was re-leased, or
+// another worker already completed the unit.
+var ErrLeaseLost = errors.New("fabric: lease lost")
+
+// ValidateWorkers rejects worker counts below min with a typed FlagError.
+// ppatorture passes min 0 (0 keeps its one-per-CPU meaning); ppafabric's
+// worker mode passes min 1.
+func ValidateWorkers(flag string, n, min int) error {
+	if n < min {
+		return &FlagError{
+			Flag:   flag,
+			Value:  fmt.Sprint(n),
+			Reason: fmt.Sprintf("must be >= %d", min),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package fabric is the distributed sweep fabric: a coordinator/worker
+// architecture that shards a torture sweep across processes and hosts
+// while keeping the result byte-identical to the single-process
+// ppatorture path.
+//
+// The coordinator owns a Spec — the complete, seed-deterministic
+// description of a sweep — decomposes it into content-addressed work
+// units (consecutive point ranges), and serves them over a small HTTP
+// job protocol (lease / heartbeat / complete, with re-lease when a
+// worker's lease expires). Workers derive the identical point list from
+// the Spec, simulate their leased range on a private machine per point,
+// and post back the verdicts plus their observability registry in wire
+// form. The coordinator records each finished unit in an append-only
+// manifest (so a killed coordinator resumes without redoing work),
+// merges worker metrics into its own hub for fleet-wide /metrics, and
+// finally assembles the verdicts in point order through the exact
+// aggregation path the sequential sweep uses — which is what makes the
+// distributed report byte-for-byte the sequential report.
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"ppa"
+	"ppa/internal/fault"
+	"ppa/internal/obs"
+	"ppa/internal/sweep"
+)
+
+// DefaultUnitSize is the default number of torture points per work unit:
+// small enough that a lost worker forfeits little progress and the
+// coordinator's live counters tick at a useful granularity, large enough
+// that the HTTP round-trip amortizes over real simulation work.
+const DefaultUnitSize = 25
+
+// Spec fully describes one distributed torture sweep. Every field
+// participates in the spec hash, so two processes agree on the point list,
+// the unit decomposition, and the unit IDs exactly when their hashes match.
+// The zero values of App/Scheme/Points/... are not defaulted here — a Spec
+// travels over the wire and into manifests, so it must be explicit.
+type Spec struct {
+	// App is the workload name (ppa.Apps()).
+	App string `json:"app"`
+	// Scheme is the persistence scheme name.
+	Scheme string `json:"scheme"`
+	// Insts is the dynamic instruction count per thread.
+	Insts int `json:"insts"`
+	// Points is the generated sweep size (before any Kind filter).
+	Points int `json:"points"`
+	// Seed feeds the deterministic point generator.
+	Seed int64 `json:"seed"`
+	// MinCycle/MaxCycle bound the failure cycles: uniform in [min, max).
+	MinCycle uint64 `json:"min_cycle"`
+	MaxCycle uint64 `json:"max_cycle"`
+	// Kind, when non-empty, restricts the sweep to one fault kind (the
+	// CLI's -kind flag; applied after generation, like ppatorture).
+	Kind string `json:"kind,omitempty"`
+	// Oracle attaches the differential lockstep oracle to every point.
+	Oracle bool `json:"oracle,omitempty"`
+	// UnitSize is the number of points per work unit (DefaultUnitSize
+	// when <= 0 — resolved at decomposition, hashed as written).
+	UnitSize int `json:"unit_size"`
+}
+
+// Hash returns the spec's content address: the hex SHA-256 of its
+// canonical JSON encoding. Struct field order is fixed, so the encoding —
+// and therefore the hash — is deterministic across processes.
+func (s Spec) Hash() string {
+	blob, err := json.Marshal(s)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("fabric: spec hash: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// PointList materializes the sweep's torture points: the deterministic
+// generator, then the optional kind filter — exactly the list the
+// single-process ppatorture sweeps for the same flags.
+func (s Spec) PointList() ([]ppa.TorturePoint, error) {
+	if s.Points <= 0 {
+		return nil, fmt.Errorf("fabric: spec needs a positive point count, got %d", s.Points)
+	}
+	points := ppa.TorturePoints(s.Seed, s.Points, s.MinCycle, s.MaxCycle)
+	if s.Kind != "" {
+		k, err := fault.ParseKind(s.Kind)
+		if err != nil {
+			return nil, err
+		}
+		points = ppa.FilterTorturePointsByKind(points, k)
+	}
+	return points, nil
+}
+
+// Unit is one content-addressed work unit: a consecutive range of sweep
+// points. ID binds the unit to the spec (hash of spec hash + range), so a
+// worker or manifest carrying units from a different sweep is rejected
+// rather than silently merged.
+type Unit struct {
+	// ID is the unit's content address.
+	ID string `json:"id"`
+	// Index is the unit's position in the decomposition.
+	Index int `json:"index"`
+	// Range is the half-open point interval the unit covers.
+	Range sweep.Range `json:"range"`
+}
+
+// UnitID computes the content address of the unit covering r under the
+// spec with hash specHash.
+func UnitID(specHash string, r sweep.Range) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s:%d:%d", specHash, r.Start, r.End)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Units decomposes the spec's (possibly kind-filtered) point list into
+// content-addressed units. Every participant with the same Spec derives
+// the identical slice.
+func (s Spec) Units() ([]Unit, error) {
+	points, err := s.PointList()
+	if err != nil {
+		return nil, err
+	}
+	size := s.UnitSize
+	if size <= 0 {
+		size = DefaultUnitSize
+	}
+	specHash := s.Hash()
+	ranges := sweep.Chunks(len(points), size)
+	units := make([]Unit, len(ranges))
+	for i, r := range ranges {
+		units[i] = Unit{ID: UnitID(specHash, r), Index: i, Range: r}
+	}
+	return units, nil
+}
+
+// RunConfig builds the simulation configuration a worker uses for this
+// spec's points, attaching hub as the observability sink.
+func (s Spec) RunConfig(hub *obs.Hub) ppa.RunConfig {
+	return ppa.RunConfig{
+		App:            s.App,
+		Scheme:         ppa.Scheme(s.Scheme),
+		InstsPerThread: s.Insts,
+		Obs:            hub,
+		Lockstep:       s.Oracle,
+	}
+}
+
+// Validate rejects specs that cannot decompose or simulate: it resolves
+// the workload, scheme, and kind names and checks the numeric ranges, so
+// a coordinator fails fast at startup instead of handing workers a spec
+// they will all choke on.
+func (s Spec) Validate() error {
+	if s.Points <= 0 {
+		return fmt.Errorf("fabric: spec needs a positive point count, got %d", s.Points)
+	}
+	if s.Insts <= 0 {
+		return fmt.Errorf("fabric: spec needs a positive instruction count, got %d", s.Insts)
+	}
+	if s.MaxCycle <= s.MinCycle {
+		return fmt.Errorf("fabric: spec needs min_cycle < max_cycle, got [%d, %d)", s.MinCycle, s.MaxCycle)
+	}
+	if s.Kind != "" {
+		if _, err := fault.ParseKind(s.Kind); err != nil {
+			return err
+		}
+	}
+	if _, err := ppa.SchemeConfig(ppa.Scheme(s.Scheme)); err != nil {
+		return err
+	}
+	found := false
+	for _, app := range ppa.Apps() {
+		if app == s.App {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("fabric: unknown app %q", s.App)
+	}
+	return nil
+}

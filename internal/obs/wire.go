@@ -1,0 +1,144 @@
+package obs
+
+import "sort"
+
+// Wire-format export of a Registry, for shipping metrics between processes
+// (the distributed sweep fabric's workers POST their per-unit registries to
+// the coordinator, which folds them into its own). Snapshot/Sample cannot
+// serve that purpose: a Sample carries quantile summaries but not the
+// underlying buckets, so a histogram rebuilt from Samples would not merge
+// commutatively. WireMetric carries the full mergeable state — counter
+// values, gauge values, and sparse histogram buckets — so
+// MergeWire(Export()) is exactly Registry.Merge across a process boundary:
+// counters and histograms accumulate commutatively, plain gauges take the
+// source's value, and gauge functions are excluded (they are live views of
+// the exporting process's state and mean nothing elsewhere).
+
+// WireBucket is one occupied histogram bucket.
+type WireBucket struct {
+	// Index is the bucket's position in the HDR layout (see histBucket).
+	Index int `json:"i"`
+	// Count is the number of observations in the bucket.
+	Count uint64 `json:"n"`
+}
+
+// WireHistogram is a histogram's full mergeable state. Buckets hold only
+// the occupied buckets, sorted by index, so a mostly-empty distribution
+// stays small on the wire.
+type WireHistogram struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Buckets []WireBucket `json:"buckets,omitempty"`
+}
+
+// WireMetric is one metric's wire-format state.
+type WireMetric struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "counter" | "gauge" | "histogram"
+	// Counter is the counter value (counters only).
+	Counter uint64 `json:"counter,omitempty"`
+	// Gauge is the gauge value (gauges only).
+	Gauge float64 `json:"gauge,omitempty"`
+	// Hist is the histogram state (histograms only).
+	Hist *WireHistogram `json:"hist,omitempty"`
+}
+
+// export captures a histogram's state under its lock.
+func (h *Histogram) export() *WireHistogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := &WireHistogram{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n != 0 {
+			w.Buckets = append(w.Buckets, WireBucket{Index: i, Count: n})
+		}
+	}
+	return w
+}
+
+// mergeWire folds a wire histogram into h. Buckets with out-of-range
+// indices are dropped rather than corrupting the layout (the wire side may
+// be a different — hostile or merely newer — build).
+func (h *Histogram) mergeWire(w *WireHistogram) {
+	if h == nil || w == nil || w.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || w.Min < h.min {
+		h.min = w.Min
+	}
+	if h.count == 0 || w.Max > h.max {
+		h.max = w.Max
+	}
+	h.count += w.Count
+	h.sum += w.Sum
+	for _, b := range w.Buckets {
+		if b.Index >= 0 && b.Index < histNumBuckets {
+			h.buckets[b.Index] += b.Count
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Export returns every metric's wire-format state, sorted by name. Gauge
+// functions are skipped: they sample live state in this process and cannot
+// travel.
+func (r *Registry) Export() []WireMetric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n, m := range r.metrics {
+		if m.kind == kindGaugeFunc {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ms := make([]*metric, 0, len(names))
+	for _, n := range names {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	out := make([]WireMetric, 0, len(names))
+	for i, n := range names {
+		m := ms[i]
+		w := WireMetric{Name: n, Kind: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			w.Counter = m.ctr.Value()
+		case kindGauge:
+			w.Gauge = m.gau.Value()
+		case kindHistogram:
+			w.Hist = m.hist.export()
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// MergeWire folds exported wire metrics into r with Registry.Merge's
+// semantics: counters and histograms accumulate, gauges take the wire
+// value. Entries whose name is bound to a different kind in r, or whose
+// kind string is unknown, are skipped.
+func (r *Registry) MergeWire(ms []WireMetric) {
+	if r == nil {
+		return
+	}
+	for _, m := range ms {
+		switch m.Kind {
+		case "counter":
+			if m.Counter != 0 {
+				r.Counter(m.Name).Add(m.Counter)
+			}
+		case "gauge":
+			r.Gauge(m.Name).Set(m.Gauge)
+		case "histogram":
+			r.Histogram(m.Name).mergeWire(m.Hist)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// fillRegistry populates a registry with one of each metric kind plus a
+// histogram spanning several octaves, so bucket transport is exercised.
+func fillRegistry(seed uint64) *Registry {
+	r := NewRegistry()
+	r.Counter("points").Add(10 + seed)
+	r.Gauge("depth").Set(float64(seed) + 0.5)
+	h := r.Histogram("latency")
+	for i := uint64(0); i < 50; i++ {
+		h.Observe(float64((i*i + seed) % 9000))
+	}
+	r.BindGaugeFunc("live.view", func() float64 { return 42 })
+	return r
+}
+
+// TestWireExportMergeMatchesDirectMerge pins the wire format's contract:
+// merging Export() output into a registry is indistinguishable from
+// Registry.Merge with the source registry itself, including histogram
+// buckets (checked through quantiles) — even after a JSON round-trip, which
+// is how the fabric actually ships it.
+func TestWireExportMergeMatchesDirectMerge(t *testing.T) {
+	src1, src2 := fillRegistry(3), fillRegistry(1000)
+
+	direct := fillRegistry(7)
+	direct.Merge(src1)
+	direct.Merge(src2)
+
+	viaWire := fillRegistry(7)
+	for _, src := range []*Registry{src1, src2} {
+		blob, err := json.Marshal(src.Export())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ms []WireMetric
+		if err := json.Unmarshal(blob, &ms); err != nil {
+			t.Fatal(err)
+		}
+		viaWire.MergeWire(ms)
+	}
+
+	a, b := direct.Snapshot(), viaWire.Snapshot()
+	// The direct registry never saw src's gauge funcs and neither did the
+	// wire one; the local live.view func exists on both. Snapshots should
+	// therefore agree exactly.
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("wire merge diverged from direct merge:\n%+v\n%+v", a, b)
+	}
+	// And the merged wire histogram must still merge commutatively onward.
+	if direct.Histogram("latency").Count() != viaWire.Histogram("latency").Count() {
+		t.Fatal("histogram counts diverged")
+	}
+}
+
+// TestWireExportSkipsGaugeFuncs pins that gauge functions never travel.
+func TestWireExportSkipsGaugeFuncs(t *testing.T) {
+	r := NewRegistry()
+	r.BindGaugeFunc("live.only", func() float64 { return 1 })
+	if ms := r.Export(); len(ms) != 0 {
+		t.Fatalf("gauge func leaked onto the wire: %+v", ms)
+	}
+}
+
+// TestWireMergeHostileInput pins that malformed wire input cannot corrupt a
+// registry: unknown kinds are skipped, kind mismatches are no-ops, and
+// out-of-range bucket indices are dropped.
+func TestWireMergeHostileInput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.MergeWire([]WireMetric{
+		{Name: "c", Kind: "histogram", Hist: &WireHistogram{Count: 1, Sum: 1}},
+		{Name: "x", Kind: "nonsense", Counter: 99},
+		{Name: "h", Kind: "histogram", Hist: &WireHistogram{
+			Count: 2, Sum: 10, Min: 4, Max: 6,
+			Buckets: []WireBucket{{Index: -1, Count: 1}, {Index: 1 << 20, Count: 1}, {Index: 4, Count: 2}},
+		}},
+	})
+	if got := r.Counter("c").Value(); got != 5 {
+		t.Fatalf("kind-mismatched merge changed counter: %d", got)
+	}
+	if got := r.Histogram("h").Count(); got != 2 {
+		t.Fatalf("histogram count = %d, want 2", got)
+	}
+	if q := r.Histogram("h").Quantile(0.5); q < 4 || q > 6 {
+		t.Fatalf("hostile buckets corrupted quantiles: p50=%v", q)
+	}
+}
+
+// TestWireMergeNilRegistry pins the nil-registry no-op contract shared by
+// the rest of the obs surface.
+func TestWireMergeNilRegistry(t *testing.T) {
+	var r *Registry
+	if got := r.Export(); got != nil {
+		t.Fatalf("nil registry exported %+v", got)
+	}
+	r.MergeWire([]WireMetric{{Name: "c", Kind: "counter", Counter: 1}}) // must not panic
+}

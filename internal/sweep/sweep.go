@@ -21,6 +21,38 @@ func Workers(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Range is a half-open index interval [Start, End) over a sweep's points.
+type Range struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Chunks splits [0, n) into consecutive ranges of at most size indices
+// (size <= 0 means one range covering everything). The decomposition is a
+// pure function of (n, size), which is what lets the distributed sweep
+// fabric content-address a work unit by its range: every participant
+// derives the identical unit list from the sweep spec alone.
+func Chunks(n, size int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 || size > n {
+		size = n
+	}
+	out := make([]Range, 0, (n+size-1)/size)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		out = append(out, Range{Start: start, End: end})
+	}
+	return out
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
 // (workers <= 0 means GOMAXPROCS) and returns the results in index order,
 // so a deterministic sequential loop stays deterministic when parallelized.

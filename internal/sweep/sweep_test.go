@@ -19,6 +19,37 @@ func TestWorkers(t *testing.T) {
 	}
 }
 
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    []Range
+	}{
+		{0, 5, nil},
+		{-3, 5, nil},
+		{7, 0, []Range{{0, 7}}},
+		{7, 100, []Range{{0, 7}}},
+		{7, 3, []Range{{0, 3}, {3, 6}, {6, 7}}},
+		{6, 3, []Range{{0, 3}, {3, 6}}},
+		{1, 1, []Range{{0, 1}}},
+	}
+	for _, c := range cases {
+		got := Chunks(c.n, c.size)
+		if len(got) != len(c.want) {
+			t.Fatalf("Chunks(%d,%d) = %v, want %v", c.n, c.size, got, c.want)
+		}
+		covered := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Chunks(%d,%d) = %v, want %v", c.n, c.size, got, c.want)
+			}
+			covered += got[i].Len()
+		}
+		if c.n > 0 && covered != c.n {
+			t.Fatalf("Chunks(%d,%d) covers %d indices", c.n, c.size, covered)
+		}
+	}
+}
+
 func TestMapOrderedResults(t *testing.T) {
 	for _, workers := range []int{1, 2, 7} {
 		out, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {

@@ -393,6 +393,43 @@ func RunTortureParallel(ctx context.Context, rc RunConfig, points []TorturePoint
 	return rep, nil
 }
 
+// AggregateTortureOutcomes assembles a report from per-point verdicts in
+// sweep order through the same accounting path as RunTorture, so a caller
+// that computed the outcomes elsewhere — the distributed sweep fabric's
+// coordinator merging units that ran on remote workers — produces a report
+// byte-identical to the single-process sweep's. outs[i] must be the verdict
+// of points[i]. hub, when non-nil, receives the torture.points and
+// torture.violations counter ticks (pass nil when those already ticked
+// live, as the parallel and distributed sweeps do); onPoint fires per
+// verdict in sweep order.
+func AggregateTortureOutcomes(hub *obs.Hub, points []TorturePoint, outs []*TortureOutcome, onPoint func(*TortureOutcome)) (*TortureReport, error) {
+	if len(points) != len(outs) {
+		return nil, fmt.Errorf("ppa: %d outcomes for %d torture points", len(outs), len(points))
+	}
+	rep := &TortureReport{ByKind: make(map[string]int)}
+	for i, out := range outs {
+		if out == nil {
+			return nil, fmt.Errorf("ppa: missing outcome for torture point %d (%v)", i, points[i])
+		}
+		rep.aggregate(hub, points[i], out, onPoint)
+	}
+	return rep, nil
+}
+
+// FilterTorturePointsByKind returns the subset of points whose fault kind
+// is k, preserving sweep order — the one filter the CLI sweep spec
+// supports, shared here so the distributed fabric derives exactly the same
+// point list as ppatorture's -kind flag.
+func FilterTorturePointsByKind(points []TorturePoint, k FaultKind) []TorturePoint {
+	var kept []TorturePoint
+	for _, p := range points {
+		if p.Fault.Kind == k {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
 // aggregate folds one verdict into the report and fires the per-point
 // callback. It is the single accounting path for the sequential and
 // parallel sweeps, which is what keeps their reports identical.
