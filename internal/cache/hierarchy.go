@@ -144,6 +144,10 @@ type writeBuffer struct {
 	index    map[uint64]int64 // line -> entry seq (when coalescing)
 	pending  int              // outstanding (unacked) stores — the Section 4.3 counter
 	coalesce bool
+	// multi marks buffers of a multi-core hierarchy; the seeded
+	// CacheCoalesceStaleWord bug only manifests under multicore
+	// contention, so the single-core crash campaigns never see it.
+	multi bool
 
 	appended int64 // entries ever appended
 	popped   int64 // entries ever accepted into the WPQ
@@ -153,11 +157,11 @@ type writeBuffer struct {
 	MaxDepth        int
 }
 
-func newWriteBuffer(capEntries int, coalesce bool) *writeBuffer {
+func newWriteBuffer(capEntries int, coalesce, multi bool) *writeBuffer {
 	if capEntries <= 0 {
 		capEntries = 1
 	}
-	return &writeBuffer{buf: make([]wbEntry, capEntries), coalesce: coalesce, index: make(map[uint64]int64)}
+	return &writeBuffer{buf: make([]wbEntry, capEntries), coalesce: coalesce, multi: multi, index: make(map[uint64]int64)}
 }
 
 func (w *writeBuffer) full() bool { return w.n >= len(w.buf) }
@@ -189,7 +193,15 @@ func (w *writeBuffer) add(line, addr, val uint64, ready, commit uint64) (token i
 	if w.coalesce {
 		if seq, hit := w.index[line]; hit {
 			e := w.at(seq)
-			if !mutation.Is(mutation.CacheCoalesceDropWord) {
+			// Seeded bug CacheCoalesceStaleWord: on a multicore machine a
+			// coalescing hit whose word slot is already populated keeps the
+			// stale value — the newer store is acked but its value never
+			// becomes durable, violating per-location persist order.
+			stale := false
+			if w.multi && mutation.Is(mutation.CacheCoalesceStaleWord) {
+				_, stale = e.words.Get(addr)
+			}
+			if !mutation.Is(mutation.CacheCoalesceDropWord) && !stale {
 				// Seeded bug CacheCoalesceDropWord: the coalescing hit is
 				// counted but the incoming word's value never lands in the
 				// entry's payload.
@@ -375,6 +387,13 @@ type Hierarchy struct {
 	warmResident func(uint64) bool
 	l2Resident   func(uint64) bool
 
+	// perturb, when non-nil, lets a schedule-perturbation harness defer a
+	// core's write-buffer accept for one cycle (the litmus engine jitters
+	// WPQ accept timing with it). It must be deterministic in (core,
+	// cycle). Deferral never reorders within a buffer — the FIFO front
+	// simply waits — so any perturbation keeps per-core persist order.
+	perturb func(core int, cycle uint64) bool
+
 	// Statistics.
 	NVMWritebacks  uint64
 	DRAMWritebacks uint64
@@ -420,7 +439,7 @@ func New(p Params, dev *nvm.Device, warmResident, l2Resident func(uint64) bool) 
 	}
 	h.wbs = make([]*writeBuffer, p.Cores)
 	for i := range h.wbs {
-		h.wbs[i] = newWriteBuffer(p.WBEntries, p.CoalesceWB)
+		h.wbs[i] = newWriteBuffer(p.WBEntries, p.CoalesceWB, p.Cores > 1)
 	}
 	return h
 }
@@ -780,6 +799,25 @@ func (h *Hierarchy) PersistedThrough(core int, seq int64) bool {
 // hardware counter of Section 4.3 that region boundaries compare with zero.
 func (h *Hierarchy) PersistPending(core int) int { return h.wbs[core].pending }
 
+// PersistBacklog returns the queued-but-not-yet-accepted persist work:
+// write-buffer entries across all cores plus pending demand evictions.
+// Zero means every durable-bound line has reached the WPQ (the ADR
+// domain), so further ticks change no NVM state.
+func (h *Hierarchy) PersistBacklog() int {
+	n := h.evictq.depth()
+	for _, wb := range h.wbs {
+		n += wb.depth()
+	}
+	return n
+}
+
+// SetPersistPerturb attaches a deterministic accept-timing perturbation:
+// when fn(core, cycle) is true, that core's front write-buffer entry is
+// not offered to the WPQ this cycle. nil (the default) disables it.
+func (h *Hierarchy) SetPersistPerturb(fn func(core int, cycle uint64) bool) {
+	h.perturb = fn
+}
+
 // WBFull reports whether the core's write buffer cannot take a new line.
 func (h *Hierarchy) WBFull(core int) bool { return h.wbs[core].full() }
 
@@ -826,6 +864,9 @@ func (h *Hierarchy) Tick(cycle uint64) error {
 		}
 		wb := h.wbs[core]
 		if wb.depth() == 0 {
+			continue
+		}
+		if h.perturb != nil && h.perturb(core, cycle) {
 			continue
 		}
 		e := wb.front()
@@ -911,7 +952,7 @@ func (h *Hierarchy) PowerFail() {
 		h.dramc = newDRAMCache(h.p.DRAMCacheSize)
 	}
 	for i := range h.wbs {
-		h.wbs[i] = newWriteBuffer(h.p.WBEntries, h.p.CoalesceWB)
+		h.wbs[i] = newWriteBuffer(h.p.WBEntries, h.p.CoalesceWB, h.p.Cores > 1)
 	}
 	h.evictq.reset()
 	h.dirty.reset()

@@ -1,0 +1,140 @@
+package litmus
+
+import "fmt"
+
+// rng is a splitmix64 stream: deterministic, seedable, dependency-free.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// mix folds extra words into a seed (used to derive independent streams
+// per test and per schedule without package-global random state).
+func mix(words ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h ^= w
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+	}
+	return h
+}
+
+// GenOptions parameterizes the litmus generator.
+type GenOptions struct {
+	// Seed selects the deterministic test stream.
+	Seed uint64
+	// Count is the number of tests to generate.
+	Count int
+	// Cores fixes the core count (0 = mix of 2–4).
+	Cores int
+}
+
+// Generate samples Count small persist litmus tests: 2–4 cores, 2–6
+// store/barrier operations over 2–3 shared address slots, both address
+// layouts, and (with bias) the paper's region-barrier idiom — a
+// message-passing core that publishes data, fences, then publishes a
+// flag. Every sampled test is guaranteed to compile and solve.
+func Generate(opt GenOptions) []*Test {
+	tests := make([]*Test, 0, opt.Count)
+	for i := 0; i < opt.Count; i++ {
+		r := &rng{state: mix(opt.Seed, uint64(i), 0x11759)}
+		for attempt := 0; ; attempt++ {
+			t := sample(r, opt.Cores, i)
+			if _, err := Compile(t); err == nil {
+				tests = append(tests, t)
+				break
+			}
+			if attempt > 64 {
+				// Cannot happen with the shapes sampled below; guard
+				// against a future edit making the sampler inconsistent.
+				panic(fmt.Sprintf("litmus: generator cannot produce a compilable test (seed %d index %d)", opt.Seed, i))
+			}
+		}
+	}
+	return tests
+}
+
+func sample(r *rng, fixedCores, idx int) *Test {
+	cores := fixedCores
+	if cores == 0 {
+		cores = 2 + r.intn(3)
+	}
+	t := &Test{
+		Name:   fmt.Sprintf("g%04d", idx),
+		NAddrs: 2 + r.intn(2),
+		Layout: LayoutSplit,
+		Cores:  make([][]Op, cores),
+	}
+	if r.intn(2) == 0 {
+		t.Layout = LayoutPacked
+	}
+	// Total operation budget: 2–6, but at least one per core.
+	budget := 2 + r.intn(5)
+	if budget < cores {
+		budget = cores
+	}
+	// Spread the budget: one op per core, remainder to random cores.
+	perCore := make([]int, cores)
+	for c := range perCore {
+		perCore[c] = 1
+	}
+	for n := budget - cores; n > 0; n-- {
+		perCore[r.intn(cores)]++
+	}
+	stores := 0
+	for c := 0; c < cores; c++ {
+		n := perCore[c]
+		if c == 0 && n >= 3 && r.intn(10) < 4 {
+			// The region-barrier idiom: publish data, end the region,
+			// publish the flag — persist-ordered data before flag.
+			data, flag := r.intn(t.NAddrs), r.intn(t.NAddrs)
+			if flag == data {
+				flag = (data + 1) % t.NAddrs
+			}
+			ops := []Op{{Kind: OpStore, Addr: data}, {Kind: OpFence}, {Kind: OpStore, Addr: flag}}
+			for len(ops) < n {
+				ops = append(ops, sampleOp(r, t.NAddrs))
+			}
+			t.Cores[c] = ops
+		} else {
+			ops := make([]Op, n)
+			for o := range ops {
+				ops[o] = sampleOp(r, t.NAddrs)
+			}
+			t.Cores[c] = ops
+		}
+		for _, op := range t.Cores[c] {
+			if op.Kind == OpStore || op.Kind == OpRMW {
+				stores++
+			}
+		}
+	}
+	if stores == 0 {
+		// A test with no stores has a single (all-zero) outcome; force
+		// at least one store so every test exercises the persist path.
+		t.Cores[r.intn(cores)][0] = Op{Kind: OpStore, Addr: r.intn(t.NAddrs)}
+	}
+	return t
+}
+
+func sampleOp(r *rng, naddrs int) Op {
+	switch v := r.intn(100); {
+	case v < 62:
+		return Op{Kind: OpStore, Addr: r.intn(naddrs)}
+	case v < 80:
+		return Op{Kind: OpFence}
+	case v < 90:
+		return Op{Kind: OpRMW, Addr: r.intn(naddrs)}
+	default:
+		return Op{Kind: OpSync}
+	}
+}

@@ -1,0 +1,539 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppa/internal/isa"
+	"ppa/internal/litmus/px86"
+	"ppa/internal/multicore"
+	"ppa/internal/obs"
+	"ppa/internal/persist"
+	"ppa/internal/pipeline"
+	"ppa/internal/workload"
+)
+
+// RunOptions parameterizes the conformance harness.
+type RunOptions struct {
+	// Schedules is the number of perturbed schedules per test (default 50).
+	Schedules int
+	// Seed selects the deterministic perturbation stream.
+	Seed uint64
+	// MaxCycles bounds each schedule's run and drain (default 50_000).
+	MaxCycles uint64
+	// Lockstep additionally runs every schedule under the differential
+	// oracle (slower; used when replaying regression corpora through the
+	// production persist checker).
+	Lockstep bool
+	// Obs, when non-nil, ticks live litmus.* metrics.
+	Obs *obs.Hub
+}
+
+func (o RunOptions) normalized() RunOptions {
+	if o.Schedules <= 0 {
+		o.Schedules = 50
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 50_000
+	}
+	return o
+}
+
+// Forbidden is one conformance violation: an observation the axiomatic
+// model does not allow (or a machine-level failure while producing one).
+type Forbidden struct {
+	Test     string `json:"test"`
+	Schedule int    `json:"schedule"`
+	Kind     string `json:"kind"`
+	Cycle    uint64 `json:"cycle"`
+	State    string `json:"state,omitempty"`
+	Detail   string `json:"detail"`
+}
+
+func (f *Forbidden) String() string {
+	s := fmt.Sprintf("%s schedule %d cycle %d: %s: %s", f.Test, f.Schedule, f.Cycle, f.Kind, f.Detail)
+	if f.State != "" {
+		s += " [state " + f.State + "]"
+	}
+	return s
+}
+
+// TestResult aggregates one test's runs across all perturbed schedules.
+type TestResult struct {
+	Name      string `json:"name"`
+	Cores     int    `json:"cores"`
+	Schedules int    `json:"schedules"`
+	Crashes   int    `json:"crashes"`
+	// Allowed is the model's full allowed-outcome set; FinalAllowed the
+	// subset legal once every store drained.
+	Allowed      []string `json:"allowed"`
+	FinalAllowed []string `json:"final_allowed"`
+	// Observed counts how often each outcome key was seen across all
+	// schedules' accept streams (soundness: every key must be allowed).
+	Observed map[string]int `json:"observed"`
+	// Unreached lists allowed outcomes no schedule exhibited (coverage:
+	// reported, not failed — the machine legally over-synchronizes, e.g.
+	// its per-core FIFO persist path never reorders across lines).
+	Unreached []string     `json:"unreached,omitempty"`
+	Forbidden []*Forbidden `json:"forbidden,omitempty"`
+	// Accepts counts NVM accept-stream words processed.
+	Accepts uint64 `json:"accepts"`
+}
+
+// maxForbiddenPerTest caps recorded violations per test; one is already
+// a gate failure and cascades repeat the same root cause.
+const maxForbiddenPerTest = 8
+
+// RunTest compiles the test and runs it through the simulator under
+// Schedules perturbed schedules (seeded step-order shuffling, WPQ
+// accept-timing jitter, and periodic crash points), checking every
+// observation against the axiomatic model.
+func RunTest(t *Test, opt RunOptions) (*TestResult, error) {
+	c, err := Compile(t)
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.normalized()
+	res := &TestResult{
+		Name:         t.Name,
+		Cores:        len(t.Cores),
+		Schedules:    opt.Schedules,
+		Allowed:      c.Model.Outcomes(),
+		FinalAllowed: c.Model.FinalOutcomes(),
+		Observed:     make(map[string]int),
+	}
+	for s := 0; s < opt.Schedules; s++ {
+		rec, err := runSchedule(c, s, opt)
+		if err != nil {
+			return nil, err
+		}
+		if rec.crashed {
+			res.Crashes++
+		}
+		res.Accepts += rec.accepts
+		for k, n := range rec.observed {
+			res.Observed[k] += n
+		}
+		for _, f := range rec.forbidden {
+			if len(res.Forbidden) < maxForbiddenPerTest {
+				res.Forbidden = append(res.Forbidden, f)
+			}
+		}
+	}
+	for _, k := range res.Allowed {
+		if res.Observed[k] == 0 {
+			res.Unreached = append(res.Unreached, k)
+		}
+	}
+	if opt.Obs != nil {
+		reg := opt.Obs.Registry()
+		reg.Counter("litmus.tests").Inc()
+		reg.Counter("litmus.schedules").Add(uint64(opt.Schedules))
+		reg.Counter("litmus.forbidden").Add(uint64(len(res.Forbidden)))
+		reg.Counter("litmus.outcomes-observed").Add(uint64(len(res.Observed)))
+	}
+	return res, nil
+}
+
+// recorder observes one schedule's commit and NVM accept streams and
+// checks them against the compiled model on the fly.
+type recorder struct {
+	c        *Compiled
+	sched    int
+	dev      interface{ ReadWord(addr uint64) uint64 }
+	addrIdx  map[uint64]int
+	overlay  []uint64 // the accept stream's view of the test words
+	observed map[string]int
+	// watermark[core][slot] counts how many entries of the (core, slot)
+	// store chain have persisted; committed[core][slot] how many have
+	// committed. armReq[core] snapshots committed at barrier arm.
+	watermark [][]int
+	committed [][]int
+	armReq    [][]int
+	// owners maps a value to every (core, slot, chain position) that can
+	// produce it (explicit-value corpora may duplicate values).
+	owners    map[uint64][]valRef
+	forbidden []*Forbidden
+	accepts   uint64
+	crashed   bool
+	tee       pipeline.CommitSink // the lockstep oracle, when attached
+}
+
+type valRef struct{ core, slot, pos int }
+
+func newRecorder(c *Compiled, sched int) *recorder {
+	r := &recorder{
+		c:        c,
+		sched:    sched,
+		addrIdx:  make(map[uint64]int, len(c.Addrs)),
+		overlay:  make([]uint64, len(c.Addrs)),
+		observed: make(map[string]int),
+		owners:   make(map[uint64][]valRef),
+	}
+	for i, a := range c.Addrs {
+		r.addrIdx[a] = i
+	}
+	for core := range c.Chains {
+		r.watermark = append(r.watermark, make([]int, len(c.Addrs)))
+		r.committed = append(r.committed, make([]int, len(c.Addrs)))
+		r.armReq = append(r.armReq, nil)
+		for slot, chain := range c.Chains[core] {
+			for pos, v := range chain {
+				r.owners[v] = append(r.owners[v], valRef{core: core, slot: slot, pos: pos})
+			}
+		}
+	}
+	r.observe() // the initial (all-zero) state counts as observed
+	return r
+}
+
+func (r *recorder) fail(kind string, cycle uint64, state, detail string) {
+	if len(r.forbidden) >= maxForbiddenPerTest {
+		return
+	}
+	r.forbidden = append(r.forbidden, &Forbidden{
+		Test: r.c.Test.Name, Schedule: r.sched, Kind: kind,
+		Cycle: cycle, State: state, Detail: detail,
+	})
+}
+
+// observe records the overlay as an observed outcome and checks model
+// membership (the soundness direction).
+func (r *recorder) observe() {
+	key := px86.Key(r.overlay)
+	r.observed[key]++
+}
+
+// onAccept consumes one accepted line from the NVM device.
+func (r *recorder) onAccept(cycle, line uint64, words *isa.LineWords) {
+	touched := false
+	words.Range(line, func(addr, val uint64) {
+		slot, ok := r.addrIdx[addr]
+		if !ok {
+			r.fail("stray-accept", cycle, "",
+				fmt.Sprintf("accepted word [%#x] <- %#x outside the test's address slots", addr, val))
+			return
+		}
+		touched = true
+		r.accepts++
+		r.checkWord(cycle, slot, addr, val)
+		r.overlay[slot] = val
+	})
+	if !touched {
+		return
+	}
+	r.observe()
+	if key := px86.Key(r.overlay); !r.c.Model.MemberKey(key) {
+		r.fail("forbidden-state", cycle, key,
+			"NVM accept stream reached a state outside the model's allowed set")
+	}
+	// The durable image must agree with the accept stream word for word.
+	for slot, addr := range r.c.Addrs {
+		if img := r.dev.ReadWord(addr); img != r.overlay[slot] {
+			r.fail("image-divergence", cycle, px86.Key(r.overlay),
+				fmt.Sprintf("durable image holds [%#x] = %#x, accept stream says %#x", addr, img, r.overlay[slot]))
+		}
+	}
+}
+
+// checkWord enforces per-location per-core persist order: within one
+// core's same-slot store chain, values persist in program order (skips
+// allowed — coalescing; repeats of the current position allowed —
+// idempotent re-accepts). A value older than the chain's watermark can
+// never legally reappear.
+func (r *recorder) checkWord(cycle uint64, slot int, addr, val uint64) {
+	refs := r.owners[val]
+	if val == 0 || len(refs) == 0 {
+		r.fail("unknown-value", cycle, "",
+			fmt.Sprintf("accepted word [%#x] <- %#x matches no store of the test", addr, val))
+		return
+	}
+	best := -1
+	bestPos := 0
+	for i, ref := range refs {
+		if ref.slot != slot {
+			continue
+		}
+		// Plausible writers: at or past the chain watermark (pos+1 is the
+		// watermark after this accept; pos == watermark-1 is idempotent).
+		if ref.pos >= r.watermark[ref.core][slot]-1 {
+			if best == -1 || ref.pos < bestPos {
+				best, bestPos = i, ref.pos
+			}
+		}
+	}
+	if best == -1 {
+		r.fail("persist-order", cycle, "",
+			fmt.Sprintf("accepted word [%#x] <- %#x is older than its core's per-location persist watermark", addr, val))
+		return
+	}
+	// Advance the watermark past the matched position and through any run
+	// of equal-valued successors: persisting one of them makes the others'
+	// effects durable too (write-buffer coalescing may subsume them into a
+	// single accept, and an identical re-accept is indistinguishable from
+	// the later store's own persist).
+	ref := refs[best]
+	chain := r.c.Chains[ref.core][slot]
+	wm := ref.pos + 1
+	for wm < len(chain) && chain[wm] == val {
+		wm++
+	}
+	if wm > r.watermark[ref.core][slot] {
+		r.watermark[ref.core][slot] = wm
+	}
+}
+
+// ObserveCommit tracks per-(core, slot) committed store counts for the
+// barrier-completion check, forwarding to the oracle when attached.
+func (r *recorder) ObserveCommit(ev *pipeline.CommitEvent) {
+	if r.tee != nil {
+		r.tee.ObserveCommit(ev)
+	}
+	if !ev.IsStore {
+		return
+	}
+	if slot, ok := r.addrIdx[ev.StoreAddr]; ok {
+		r.committed[ev.Core][slot]++
+	}
+}
+
+// ObserveBarrierArm snapshots what the completing barrier must drain.
+func (r *recorder) ObserveBarrierArm(core int, cycle uint64) {
+	if r.tee != nil {
+		r.tee.ObserveBarrierArm(core, cycle)
+	}
+	r.armReq[core] = append([]int(nil), r.committed[core]...)
+}
+
+// ObserveBarrierComplete applies the model's barrier axiom at the
+// machine's own completion signal: every store this core committed
+// before the barrier armed must be durable by now. The machine's FIFO
+// persist path makes barrier bugs state-invisible — every intermediate
+// NVM state stays individually allowed — so this durability-at-
+// completion check is what gives the litmus gate teeth against them.
+func (r *recorder) ObserveBarrierComplete(core int, cycle uint64, cause pipeline.BoundaryCause) {
+	if r.tee != nil {
+		r.tee.ObserveBarrierComplete(core, cycle, cause)
+	}
+	req := r.armReq[core]
+	r.armReq[core] = nil
+	for slot, need := range req {
+		if r.watermark[core][slot] < need {
+			r.fail("barrier-incomplete", cycle, px86.Key(r.overlay),
+				fmt.Sprintf("core %d %s boundary completed with %d/%d stores to slot %d durable",
+					core, cause, r.watermark[core][slot], need, slot))
+		}
+	}
+}
+
+// runSchedule executes one perturbed schedule of a compiled test.
+func runSchedule(c *Compiled, sched int, opt RunOptions) (*recorder, error) {
+	sseed := mix(opt.Seed, hashName(c.Test.Name), uint64(sched))
+	n := len(c.Progs)
+	w := &workload.Workload{
+		Profile: workload.Profile{
+			Name:           "litmus",
+			DepDistance:    1,
+			Threads:        n,
+			SyncContention: 1,
+		},
+		Threads: c.Progs,
+	}
+	cfg := multicore.DefaultConfig(n, persist.PPADefault())
+	// Short persist latencies keep 50-schedule sweeps fast while leaving
+	// a window the accept-timing jitter can actually reorder within.
+	cfg.Hierarchy.PersistTransit = 24
+	cfg.Hierarchy.PersistLag = 60
+	cfg.StepSeed = sseed | 1
+	cfg.PersistPerturb = func(core int, cycle uint64) bool {
+		// Defer ~25% of (core, cycle) accept slots: enough jitter to
+		// shuffle cross-core accept interleavings, low enough that every
+		// entry still drains promptly.
+		return mix(sseed, 0xACC, cycle, uint64(core))&3 == 0
+	}
+	cfg.Lockstep = opt.Lockstep
+	sys, err := multicore.NewSystem(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecorder(c, sched)
+	rec.dev = sys.Device().Image()
+	sys.Device().AddAcceptObserver(rec.onAccept)
+	for _, core := range sys.Cores() {
+		if opt.Lockstep {
+			rec.tee = sys.Oracle()
+		}
+		core.SetCommitSink(rec)
+	}
+
+	// Every fourth schedule is a crash leg: run to a seeded cycle, pull
+	// power, and require the surviving NVM state allowed by the model.
+	if sched%4 == 3 {
+		rec.crashed = true
+		target := sys.Cycle() + 20 + mix(sseed, 0xC4A54)%400
+		if _, err := sys.RunUntil(target); err != nil {
+			rec.fail("run-error", sys.Cycle(), "", err.Error())
+			return rec, nil
+		}
+		sys.Hierarchy().PowerFail()
+		key := px86.Key(rec.overlay)
+		if !c.Model.MemberKey(key) {
+			rec.fail("forbidden-state", sys.Cycle(), key, "crash image outside the model's allowed set")
+		}
+		return rec, nil
+	}
+
+	if err := sys.Run(opt.MaxCycles); err != nil {
+		rec.fail("run-error", sys.Cycle(), "", err.Error())
+		return rec, nil
+	}
+	if err := sys.DrainPersists(opt.MaxCycles); err != nil {
+		rec.fail("drain-stuck", sys.Cycle(), px86.Key(rec.overlay), err.Error())
+		return rec, nil
+	}
+	// Litmus footprints (2–3 lines) never evict; an eviction writeback
+	// would persist lines outside the modeled accept flow, so surface it
+	// instead of silently weakening the checks.
+	if wb := sys.Hierarchy().NVMWritebacks; wb != 0 {
+		rec.fail("unexpected-eviction", sys.Cycle(), "",
+			fmt.Sprintf("%d NVM eviction writebacks in a litmus-sized footprint", wb))
+	}
+	key := px86.Key(rec.overlay)
+	if !c.Model.FinalMemberKey(key) {
+		rec.fail("forbidden-final-state", sys.Cycle(), key,
+			"fully-drained NVM state is not a legal all-stores-persisted outcome")
+	}
+	return rec, nil
+}
+
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// CorpusReport aggregates a corpus run.
+type CorpusReport struct {
+	Tests          []*TestResult `json:"tests"`
+	TotalTests     int           `json:"total_tests"`
+	TotalSchedules int           `json:"total_schedules"`
+	TotalForbidden int           `json:"total_forbidden"`
+	AllowedTotal   int           `json:"allowed_total"`
+	ObservedTotal  int           `json:"observed_total"`
+	UnreachedTotal int           `json:"unreached_total"`
+	// Coverage is observed distinct allowed outcomes / allowed outcomes.
+	Coverage float64 `json:"coverage"`
+}
+
+// Clean reports whether no forbidden outcome was observed anywhere.
+func (r *CorpusReport) Clean() bool { return r.TotalForbidden == 0 }
+
+// RunCorpus runs every test and aggregates soundness and coverage.
+// progress (optional) fires after each test.
+func RunCorpus(tests []*Test, opt RunOptions, progress func(*TestResult)) (*CorpusReport, error) {
+	rep := &CorpusReport{TotalTests: len(tests)}
+	for _, t := range tests {
+		res, err := RunTest(t, opt)
+		if err != nil {
+			return nil, err
+		}
+		rep.Tests = append(rep.Tests, res)
+		rep.TotalSchedules += res.Schedules
+		rep.TotalForbidden += len(res.Forbidden)
+		rep.AllowedTotal += len(res.Allowed)
+		rep.ObservedTotal += len(res.Allowed) - len(res.Unreached)
+		rep.UnreachedTotal += len(res.Unreached)
+		if progress != nil {
+			progress(res)
+		}
+	}
+	if rep.AllowedTotal > 0 {
+		rep.Coverage = float64(rep.ObservedTotal) / float64(rep.AllowedTotal)
+	}
+	return rep, nil
+}
+
+// FirstForbidden returns the report's first violation, or nil.
+func (r *CorpusReport) FirstForbidden() *Forbidden {
+	for _, tr := range r.Tests {
+		if len(tr.Forbidden) > 0 {
+			return tr.Forbidden[0]
+		}
+	}
+	return nil
+}
+
+// Shrink greedily minimizes a forbidden-outcome reproducer: while the
+// test still exhibits a forbidden outcome under the same options, drop
+// operations (and then emptied cores) one at a time.
+func Shrink(t *Test, opt RunOptions) *Test {
+	cur := cloneTest(t)
+	check := func(cand *Test) bool {
+		res, err := RunTest(cand, opt)
+		return err == nil && len(res.Forbidden) > 0
+	}
+	if !check(cur) {
+		return cur
+	}
+	for {
+		shrunk := false
+		for ci := 0; ci < len(cur.Cores); ci++ {
+			for oi := 0; oi < len(cur.Cores[ci]); oi++ {
+				cand := cloneTest(cur)
+				cand.Cores[ci] = append(cand.Cores[ci][:oi:oi], cand.Cores[ci][oi+1:]...)
+				if len(cand.Cores[ci]) == 0 {
+					cand.Cores = append(cand.Cores[:ci:ci], cand.Cores[ci+1:]...)
+				}
+				if len(cand.Cores) == 0 {
+					continue
+				}
+				if check(cand) {
+					cur = cand
+					shrunk = true
+				}
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+func cloneTest(t *Test) *Test {
+	c := &Test{Name: t.Name, NAddrs: t.NAddrs, Layout: t.Layout}
+	for _, ops := range t.Cores {
+		c.Cores = append(c.Cores, append([]Op(nil), ops...))
+	}
+	return c
+}
+
+// Summarize renders a compact human outcome table for one test.
+func Summarize(res *TestResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d cores, %d schedules (%d crash legs), %d accepts\n",
+		res.Name, res.Cores, res.Schedules, res.Crashes, res.Accepts)
+	keys := make([]string, 0, len(res.Observed))
+	for k := range res.Observed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	allowed := make(map[string]bool, len(res.Allowed))
+	for _, k := range res.Allowed {
+		allowed[k] = true
+	}
+	for _, k := range keys {
+		verdict := "allowed"
+		if !allowed[k] {
+			verdict = "FORBIDDEN"
+		}
+		fmt.Fprintf(&b, "  %-30s ×%-5d %s\n", k, res.Observed[k], verdict)
+	}
+	for _, k := range res.Unreached {
+		fmt.Fprintf(&b, "  %-30s        allowed, unreached\n", k)
+	}
+	return b.String()
+}

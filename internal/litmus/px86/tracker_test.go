@@ -1,0 +1,192 @@
+package px86
+
+import (
+	"strings"
+	"testing"
+)
+
+// ev is one scripted tracker event for the table-driven tests.
+type ev struct {
+	kind string // commit | accept | arm | complete
+	core int
+	seq  int
+	addr uint64
+	val  uint64
+}
+
+func commit(core, seq int, addr, val uint64) ev {
+	return ev{kind: "commit", core: core, seq: seq, addr: addr, val: val}
+}
+func accept(addr, val uint64) ev { return ev{kind: "accept", addr: addr, val: val} }
+func arm(core int) ev            { return ev{kind: "arm", core: core} }
+func complete(core int) ev       { return ev{kind: "complete", core: core} }
+
+// TestTrackerRules drives the tracker through the persist-ordering edge
+// cases the old ad-hoc persistChecker regressed on, now expressed as the
+// model's axioms.
+func TestTrackerRules(t *testing.T) {
+	const a, b = uint64(0x1000), uint64(0x1040)
+	cases := []struct {
+		name          string
+		events        []ev
+		wantViolation string // "" = clean; otherwise a substring of Kind/Detail
+		wantUnmatched uint64
+	}{
+		{
+			name: "in-order-drain",
+			events: []ev{
+				commit(0, 1, a, 10), accept(a, 10),
+				commit(0, 2, a, 11), accept(a, 11),
+				arm(0), complete(0),
+			},
+		},
+		{
+			name: "coalescing-subsumption",
+			// Two same-word commits, one accept of the newer value: the
+			// older store is absorbed and the barrier must treat it as
+			// durable — flagging it lost was the historical false alarm.
+			events: []ev{
+				commit(0, 1, a, 10), commit(0, 2, a, 11),
+				arm(0),
+				accept(a, 11),
+				complete(0),
+			},
+		},
+		{
+			name: "idempotent-reaccept",
+			// The device re-accepts the currently-durable value (eviction
+			// writeback replaying the line image): never a violation, never
+			// counted unmatched, and it must not re-arm outstanding state.
+			events: []ev{
+				commit(0, 1, a, 10), accept(a, 10),
+				accept(a, 10),
+				arm(0), complete(0),
+			},
+		},
+		{
+			name: "reelided-sync-persist",
+			// Committing the already-durable value with an empty queue is
+			// elided (sync-persist ablation): the barrier sees nothing
+			// outstanding even though no new accept will ever arrive.
+			events: []ev{
+				commit(0, 1, a, 10), accept(a, 10),
+				commit(0, 2, a, 10),
+				arm(0), complete(0),
+			},
+		},
+		{
+			name: "barrier-incomplete",
+			events: []ev{
+				commit(0, 1, a, 10),
+				arm(0), complete(0),
+			},
+			wantViolation: "barrier-incomplete",
+		},
+		{
+			name: "barrier-scoped-to-core",
+			// Core 1's barrier does not wait for core 0's stores: no
+			// inter-core persist edges.
+			events: []ev{
+				commit(0, 1, a, 10),
+				arm(1), complete(1),
+			},
+		},
+		{
+			name: "barrier-ignores-post-arm-commits",
+			// Stores committed after arm are outside the snapshot.
+			events: []ev{
+				commit(0, 1, a, 10), accept(a, 10),
+				arm(0),
+				commit(0, 2, b, 20),
+				complete(0),
+			},
+		},
+		{
+			name: "unmatched-accept-counted",
+			events: []ev{
+				accept(a, 99),
+			},
+			wantUnmatched: 1,
+		},
+		{
+			name: "subsumption-keeps-newer-outstanding",
+			// Accepting an older value retires only that store; the newer
+			// one stays outstanding and still blocks the barrier.
+			events: []ev{
+				commit(0, 1, a, 10), commit(0, 2, a, 11),
+				accept(a, 10),
+				arm(0), complete(0),
+			},
+			wantViolation: "barrier-incomplete",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewTracker(2)
+			for _, e := range tc.events {
+				switch e.kind {
+				case "commit":
+					tr.CommitStore(e.core, e.seq, e.addr, e.val)
+				case "accept":
+					tr.Accept(100, e.addr, e.val)
+				case "arm":
+					tr.BarrierArm(e.core)
+				case "complete":
+					tr.BarrierComplete(e.core, 200, "sync")
+				}
+			}
+			v := tr.Err()
+			if tc.wantViolation == "" {
+				if v != nil {
+					t.Fatalf("unexpected violation: %s: %s", v.Kind, v.Detail)
+				}
+			} else {
+				if v == nil {
+					t.Fatalf("expected %q violation, tracker is clean", tc.wantViolation)
+				}
+				if !strings.Contains(v.Kind+" "+v.Detail, tc.wantViolation) {
+					t.Fatalf("violation %s (%s) does not mention %q", v.Kind, v.Detail, tc.wantViolation)
+				}
+			}
+			if tr.Unmatched != tc.wantUnmatched {
+				t.Errorf("Unmatched = %d, want %d", tr.Unmatched, tc.wantUnmatched)
+			}
+		})
+	}
+}
+
+// TestTrackerViolationFields pins the violation's structured fields — the
+// oracle report (and its String() form) depends on them.
+func TestTrackerViolationFields(t *testing.T) {
+	tr := NewTracker(1)
+	tr.CommitStore(0, 42, 0x2000, 7)
+	tr.BarrierArm(0)
+	tr.BarrierComplete(0, 555, "region")
+	v := tr.Err()
+	if v == nil {
+		t.Fatal("no violation")
+	}
+	if v.Kind != "barrier-incomplete" || v.Core != 0 || v.Cycle != 555 ||
+		v.Addr != 0x2000 || v.Seq != 42 || v.Got != 7 {
+		t.Fatalf("violation fields wrong: %+v", v)
+	}
+	if !strings.Contains(v.Detail, "region boundary") || !strings.Contains(v.Detail, "seq 42") {
+		t.Fatalf("detail missing context: %s", v.Detail)
+	}
+}
+
+// TestTrackerReset: a power failure clears outstanding and durable state,
+// so post-crash accepts are judged fresh.
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker(1)
+	tr.CommitStore(0, 1, 0x1000, 5)
+	tr.BarrierArm(0)
+	tr.Reset()
+	tr.BarrierComplete(0, 1, "sync")
+	if v := tr.Err(); v != nil {
+		t.Fatalf("violation across reset: %+v", v)
+	}
+	if len(tr.Durable()) != 0 {
+		t.Fatal("durable map survived reset")
+	}
+}

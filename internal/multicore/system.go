@@ -38,6 +38,19 @@ type Config struct {
 	// and the NVM accept stream is checked against PPA's persist-ordering
 	// invariants. A divergence aborts the run with a *oracle.DivergenceError.
 	Lockstep bool
+
+	// StepSeed, when nonzero, perturbs the per-cycle core service order:
+	// each cycle the cores step in a fresh seeded Fisher–Yates
+	// permutation instead of ascending index. Two runs with the same
+	// seed are identical; different seeds explore different commit /
+	// persist interleavings (the litmus engine's schedule perturbation).
+	StepSeed uint64
+
+	// PersistPerturb, when non-nil, is handed to the hierarchy as its
+	// write-buffer accept-timing perturbation (see
+	// cache.Hierarchy.SetPersistPerturb). It must be a pure function of
+	// (core, cycle) so runs stay deterministic. Excluded from JSON.
+	PersistPerturb func(core int, cycle uint64) bool `json:"-"`
 }
 
 // DefaultConfig returns the Table 2 machine for n cores under a scheme.
@@ -83,6 +96,10 @@ type System struct {
 	// step()'s existing core loop, so the per-cycle Done() probe in the run
 	// loops costs a field read instead of another walk over the cores.
 	allDone bool
+
+	// stepOrder is the reusable core-index permutation for seeded
+	// step-order perturbation (nil when Config.StepSeed is zero).
+	stepOrder []int
 
 	// oracle is the lockstep checker (nil unless Config.Lockstep).
 	oracle *oracle.Machine
@@ -156,6 +173,12 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 		}
 		s.cores = append(s.cores, core)
 	}
+	if cfg.StepSeed != 0 && len(s.cores) > 1 {
+		s.stepOrder = make([]int, len(s.cores))
+	}
+	if cfg.PersistPerturb != nil {
+		hier.SetPersistPerturb(cfg.PersistPerturb)
+	}
 	s.refreshDone() // a resumed system can start with every trace retired
 	return s, nil
 }
@@ -197,9 +220,29 @@ func (s *System) step() error {
 		r.Tick(s.cycle)
 	}
 	done := true
-	for _, c := range s.cores {
-		c.Step(s.cycle)
-		done = done && c.Done()
+	if s.stepOrder != nil {
+		// Seeded per-cycle service order: a fresh Fisher–Yates shuffle of
+		// the core indices, splitmix64-keyed on (StepSeed, cycle). In-order
+		// stepping is just one point of the interleaving space; litmus
+		// schedules walk the rest deterministically.
+		for i := range s.stepOrder {
+			s.stepOrder[i] = i
+		}
+		r := stepRng{state: s.cfg.StepSeed ^ (s.cycle * 0x9E3779B97F4A7C15)}
+		for i := len(s.stepOrder) - 1; i > 0; i-- {
+			j := int(r.next() % uint64(i+1))
+			s.stepOrder[i], s.stepOrder[j] = s.stepOrder[j], s.stepOrder[i]
+		}
+		for _, idx := range s.stepOrder {
+			c := s.cores[idx]
+			c.Step(s.cycle)
+			done = done && c.Done()
+		}
+	} else {
+		for _, c := range s.cores {
+			c.Step(s.cycle)
+			done = done && c.Done()
+		}
 	}
 	s.allDone = done
 	s.cycle++
@@ -209,6 +252,18 @@ func (s *System) step() error {
 		}
 	}
 	return nil
+}
+
+// stepRng is a splitmix64 stream for the step-order shuffle: cheap,
+// deterministic, and free of package-global random state.
+type stepRng struct{ state uint64 }
+
+func (r *stepRng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 // checkOracleFinal runs the end-of-run durable-image cross-check for
@@ -250,6 +305,26 @@ func (s *System) RunUntil(cycle uint64) (bool, error) {
 		}
 	}
 	return s.Done(), nil
+}
+
+// DrainPersists keeps ticking the memory system (cores idle) until every
+// write-buffer entry and pending eviction has been accepted by the NVM
+// device and the device itself reports drained — the fully-persisted
+// machine state the litmus engine's final-outcome check inspects. budget
+// bounds the extra cycles; exceeding it reports a stuck persist path.
+func (s *System) DrainPersists(budget uint64) error {
+	deadline := s.cycle + budget
+	for s.hier.PersistBacklog() > 0 || !s.dev.Drained(s.cycle) {
+		if s.cycle >= deadline {
+			return fmt.Errorf("multicore: persist backlog of %d entries not drained within %d cycles",
+				s.hier.PersistBacklog(), budget)
+		}
+		if err := s.hier.Tick(s.cycle); err != nil {
+			return err
+		}
+		s.cycle++
+	}
+	return nil
 }
 
 func (s *System) committedInsts() int {

@@ -56,6 +56,20 @@ const (
 	// NVMCoalesceSkipImage coalesces a WPQ/WCB-resident line without
 	// applying the new words to the durable image.
 	NVMCoalesceSkipImage
+	// CacheCoalesceStaleWord keeps the stale word value on a multicore
+	// write-buffer coalescing hit: the newer same-word store is acked but
+	// its value never persists, breaking per-location persist order. Only
+	// the litmus engine's axiomatic final-state check sees it — every
+	// intermediate NVM state looks individually plausible.
+	CacheCoalesceStaleWord
+	// PipelineBarrierSnapshotCrossCore makes a region boundary snapshot
+	// the next core's persist counter instead of its own, releasing the
+	// barrier against the wrong queue. Invisible on one core and
+	// state-invisible on many (the per-core FIFO still orders persists);
+	// only the litmus engine's barrier-completion durability check — the
+	// model's barrier axiom applied at the machine's own completion
+	// signal — catches it.
+	PipelineBarrierSnapshotCrossCore
 	numMutations
 )
 
@@ -86,17 +100,19 @@ func All() []Mutation {
 }
 
 var ids = [...]string{
-	None:                            "none",
-	RenameReclaimMaskedEarly:        "rename-reclaim-masked-early",
-	RenameCRTStaleTag:               "rename-crt-stale-tag",
-	PipelineMaskSkip:                "pipeline-mask-skip",
-	PipelineBarrierEarlyRelease:     "pipeline-barrier-early-release",
-	PipelineBarrierSnapshotOffByOne: "pipeline-barrier-snapshot-off-by-one",
-	PipelineLCPCSkew:                "pipeline-lcpc-skew",
-	CacheCoalesceDropWord:           "cache-coalesce-drop-word",
-	RecoveryReplayOffByOne:          "recovery-replay-off-by-one",
-	CheckpointDropCSQRegs:           "checkpoint-drop-csq-regs",
-	NVMCoalesceSkipImage:            "nvm-coalesce-skip-image",
+	None:                             "none",
+	RenameReclaimMaskedEarly:         "rename-reclaim-masked-early",
+	RenameCRTStaleTag:                "rename-crt-stale-tag",
+	PipelineMaskSkip:                 "pipeline-mask-skip",
+	PipelineBarrierEarlyRelease:      "pipeline-barrier-early-release",
+	PipelineBarrierSnapshotOffByOne:  "pipeline-barrier-snapshot-off-by-one",
+	PipelineLCPCSkew:                 "pipeline-lcpc-skew",
+	CacheCoalesceDropWord:            "cache-coalesce-drop-word",
+	RecoveryReplayOffByOne:           "recovery-replay-off-by-one",
+	CheckpointDropCSQRegs:            "checkpoint-drop-csq-regs",
+	NVMCoalesceSkipImage:             "nvm-coalesce-skip-image",
+	CacheCoalesceStaleWord:           "cache-coalesce-stale-word",
+	PipelineBarrierSnapshotCrossCore: "pipeline-barrier-snapshot-cross-core",
 }
 
 // String returns the mutation's stable kebab-case identifier.
@@ -108,17 +124,19 @@ func (m Mutation) String() string {
 }
 
 var sites = [...]string{
-	None:                            "",
-	RenameReclaimMaskedEarly:        "internal/rename/rename.go:Commit",
-	RenameCRTStaleTag:               "internal/rename/rename.go:Commit",
-	PipelineMaskSkip:                "internal/pipeline/pipeline.go:commitStore",
-	PipelineBarrierEarlyRelease:     "internal/pipeline/pipeline.go:tryEndRegion",
-	PipelineBarrierSnapshotOffByOne: "internal/pipeline/pipeline.go:tryEndRegion",
-	PipelineLCPCSkew:                "internal/pipeline/pipeline.go:commitStage",
-	CacheCoalesceDropWord:           "internal/cache/hierarchy.go:writeBuffer.add",
-	RecoveryReplayOffByOne:          "internal/recovery/load.go:ReplayN",
-	CheckpointDropCSQRegs:           "internal/checkpoint/checkpoint.go:Capture",
-	NVMCoalesceSkipImage:            "internal/nvm/nvm.go:TryAccept",
+	None:                             "",
+	RenameReclaimMaskedEarly:         "internal/rename/rename.go:Commit",
+	RenameCRTStaleTag:                "internal/rename/rename.go:Commit",
+	PipelineMaskSkip:                 "internal/pipeline/pipeline.go:commitStore",
+	PipelineBarrierEarlyRelease:      "internal/pipeline/pipeline.go:tryEndRegion",
+	PipelineBarrierSnapshotOffByOne:  "internal/pipeline/pipeline.go:tryEndRegion",
+	PipelineLCPCSkew:                 "internal/pipeline/pipeline.go:commitStage",
+	CacheCoalesceDropWord:            "internal/cache/hierarchy.go:writeBuffer.add",
+	RecoveryReplayOffByOne:           "internal/recovery/load.go:ReplayN",
+	CheckpointDropCSQRegs:            "internal/checkpoint/checkpoint.go:Capture",
+	NVMCoalesceSkipImage:             "internal/nvm/nvm.go:TryAccept",
+	CacheCoalesceStaleWord:           "internal/cache/hierarchy.go:writeBuffer.add",
+	PipelineBarrierSnapshotCrossCore: "internal/pipeline/pipeline.go:tryEndRegion",
 }
 
 // Site names the source location of the seeded bug.
@@ -130,17 +148,19 @@ func (m Mutation) Site() string {
 }
 
 var descriptions = [...]string{
-	None:                            "no mutation",
-	RenameReclaimMaskedEarly:        "masked register reclaimed early at commit",
-	RenameCRTStaleTag:               "CRT maps a stale tag after commit",
-	PipelineMaskSkip:                "store commits without masking its data register",
-	PipelineBarrierEarlyRelease:     "barrier released with outstanding persists",
-	PipelineBarrierSnapshotOffByOne: "barrier persist snapshot off by one entry",
-	PipelineLCPCSkew:                "LCPC not updated by store commits",
-	CacheCoalesceDropWord:           "write-buffer coalescing drops a word",
-	RecoveryReplayOffByOne:          "CSQ replay stops one entry short of the tail",
-	CheckpointDropCSQRegs:           "checkpoint omits CSQ-referenced registers",
-	NVMCoalesceSkipImage:            "WPQ coalescing skips the durable image update",
+	None:                             "no mutation",
+	RenameReclaimMaskedEarly:         "masked register reclaimed early at commit",
+	RenameCRTStaleTag:                "CRT maps a stale tag after commit",
+	PipelineMaskSkip:                 "store commits without masking its data register",
+	PipelineBarrierEarlyRelease:      "barrier released with outstanding persists",
+	PipelineBarrierSnapshotOffByOne:  "barrier persist snapshot off by one entry",
+	PipelineLCPCSkew:                 "LCPC not updated by store commits",
+	CacheCoalesceDropWord:            "write-buffer coalescing drops a word",
+	RecoveryReplayOffByOne:           "CSQ replay stops one entry short of the tail",
+	CheckpointDropCSQRegs:            "checkpoint omits CSQ-referenced registers",
+	NVMCoalesceSkipImage:             "WPQ coalescing skips the durable image update",
+	CacheCoalesceStaleWord:           "multicore write-buffer coalescing keeps the stale word",
+	PipelineBarrierSnapshotCrossCore: "barrier snapshots the next core's persist counter",
 }
 
 // Description is a one-line human summary of the bug.

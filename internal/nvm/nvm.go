@@ -232,17 +232,36 @@ type Device struct {
 	wpqAtWrite *obs.Histogram
 	now        uint64
 
-	// acceptObs, when non-nil, observes every successful TryAccept — the
-	// ADR durability point — with the offered word values. The persist-
-	// ordering checker (internal/oracle) hangs off this.
-	acceptObs func(cycle, line uint64, words *isa.LineWords)
+	// acceptObs observes every successful TryAccept — the ADR durability
+	// point — with the offered word values. The persist-ordering checker
+	// (internal/oracle) and the litmus conformance harness hang off this.
+	acceptObs []func(cycle, line uint64, words *isa.LineWords)
 }
 
-// SetAcceptObserver attaches a callback fired on every successful line
-// accept (including coalescing accepts), stamped with the device's current
-// cycle. A nil observer (the default) costs one nil check per accept.
+// SetAcceptObserver replaces the accept-observer list with the given
+// callback, fired on every successful line accept (including coalescing
+// accepts), stamped with the device's current cycle. A nil observer (the
+// default) costs one length check per accept.
 func (d *Device) SetAcceptObserver(fn func(cycle, line uint64, words *isa.LineWords)) {
-	d.acceptObs = fn
+	if fn == nil {
+		d.acceptObs = nil
+		return
+	}
+	d.acceptObs = []func(cycle, line uint64, words *isa.LineWords){fn}
+}
+
+// AddAcceptObserver appends an accept observer, preserving any already
+// attached (the lockstep oracle and the litmus recorder can tap the same
+// accept stream). Observers fire in attachment order.
+func (d *Device) AddAcceptObserver(fn func(cycle, line uint64, words *isa.LineWords)) {
+	d.acceptObs = append(d.acceptObs, fn)
+}
+
+// fireAccept notifies every attached observer of a successful accept.
+func (d *Device) fireAccept(line uint64, words *isa.LineWords) {
+	for _, fn := range d.acceptObs {
+		fn(d.now, line, words)
+	}
 }
 
 // NewDevice creates an NVM device with the given configuration.
@@ -393,9 +412,7 @@ func (d *Device) TryAccept(line uint64, words *isa.LineWords) (bool, error) {
 				d.applyWords(line, words)
 			}
 			d.Coalesced++
-			if d.acceptObs != nil {
-				d.acceptObs(d.now, line, words)
-			}
+			d.fireAccept(line, words)
 			return true, nil
 		}
 		for i := 0; i < ch.wpqN; i++ {
@@ -403,9 +420,7 @@ func (d *Device) TryAccept(line uint64, words *isa.LineWords) (bool, error) {
 				e.words.Merge(words)
 				d.applyWords(line, words)
 				d.Coalesced++
-				if d.acceptObs != nil {
-					d.acceptObs(d.now, line, words)
-				}
+				d.fireAccept(line, words)
 				return true, nil
 			}
 		}
@@ -433,9 +448,7 @@ func (d *Device) TryAccept(line uint64, words *isa.LineWords) (bool, error) {
 	// Distribution companion to the WPQOccupancyX running average: how full
 	// the channel's queue was when this write became durable.
 	d.wpqAtWrite.Observe(float64(ch.wpqN))
-	if d.acceptObs != nil {
-		d.acceptObs(d.now, line, words)
-	}
+	d.fireAccept(line, words)
 	return true, nil
 }
 

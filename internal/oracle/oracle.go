@@ -124,7 +124,7 @@ func New(progs []*isa.Program, startAt []int) *Machine {
 }
 
 // failed reports whether the oracle has latched a divergence or violation.
-func (m *Machine) failed() bool { return m.div != nil || m.persist.viol != nil }
+func (m *Machine) failed() bool { return m.div != nil || m.persist.violation() != nil }
 
 // Err returns nil while the machine and oracle agree, and a
 // *DivergenceError carrying the full report after the first disagreement.
@@ -139,11 +139,11 @@ func (m *Machine) Err() error {
 func (m *Machine) Report() *Report {
 	return &Report{
 		Commits:          m.commits,
-		AcceptedWords:    m.persist.accepts,
-		Barriers:         m.persist.barriers,
-		UnmatchedAccepts: m.persist.unmatched,
+		AcceptedWords:    m.persist.t.Accepts,
+		Barriers:         m.persist.t.Barriers,
+		UnmatchedAccepts: m.persist.t.Unmatched,
 		Divergence:       m.div,
-		PersistViolation: m.persist.viol,
+		PersistViolation: m.persist.violation(),
 	}
 }
 

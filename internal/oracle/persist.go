@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ppa/internal/isa"
+	"ppa/internal/litmus/px86"
 	"ppa/internal/pipeline"
 )
 
@@ -24,139 +25,61 @@ type PersistViolation struct {
 }
 
 func (v *PersistViolation) String() string {
-	return fmt.Sprintf("%s: core %d addr %#x: %s", v.Kind, v.Core, v.Addr, v.Detail)
+	return fmt.Sprintf("%s: core %d cycle %d seq %d addr %#x: %s",
+		v.Kind, v.Core, v.Cycle, v.Seq, v.Addr, v.Detail)
 }
 
-// pendingStore is one committed store whose durability the checker has not
-// yet observed on the accept stream.
-type pendingStore struct {
-	core int
-	seq  int
-	val  uint64
-}
-
-// persistChecker tracks, per word address, the FIFO of committed-but-not-
-// yet-durable stores and the last value known durable. Accepts retire
-// outstanding prefixes: an accepted value equal to outstanding store i
-// proves i and everything older durable (older same-word values may be
-// legally subsumed by write-buffer coalescing before any accept could
-// observe them — the image then already holds the newer committed value).
-//
-// Barrier teeth: when a boundary arms, the checker snapshots the core's
-// outstanding (word, newest seq) set; when the boundary completes, every
-// snapshotted store must have retired — a barrier released with outstanding
-// persists, an off-by-one snapshot, or a coalescing path that drops a word
-// all trip this.
+// persistChecker is a thin adapter over the axiomatic model's event
+// tracker (internal/litmus/px86): the barrier-drain, coalescing-
+// subsumption, and idempotent-re-accept rules that used to live here as
+// ad-hoc invariants are now the model's per-core persist-order axioms,
+// applied operationally to the machine's own commit/accept stream. The
+// oracle keeps only the report-type conversion and the image-level
+// checks that need the golden model's memory.
 type persistChecker struct {
-	outstanding map[uint64][]pendingStore
-	lastDurable map[uint64]uint64
-	armed       []map[uint64]int // per core: word -> newest outstanding seq at arm
-
-	accepts   uint64
-	barriers  uint64
-	unmatched uint64 // accepts carrying values no outstanding store explains
-	viol      *PersistViolation
+	t *px86.Tracker
+	// imgViol holds violations raised by the oracle-side image checks
+	// (CheckFinal/CheckRecovered), which sit outside the tracker.
+	imgViol *PersistViolation
 }
 
 func newPersistChecker(cores int) *persistChecker {
-	return &persistChecker{
-		outstanding: make(map[uint64][]pendingStore),
-		lastDurable: make(map[uint64]uint64),
-		armed:       make([]map[uint64]int, cores),
+	return &persistChecker{t: px86.NewTracker(cores)}
+}
+
+// violation returns the first persist violation from either layer,
+// converted to the oracle's report type.
+func (p *persistChecker) violation() *PersistViolation {
+	if p.imgViol != nil {
+		return p.imgViol
 	}
+	if v := p.t.Err(); v != nil {
+		return &PersistViolation{
+			Kind: v.Kind, Core: v.Core, Cycle: v.Cycle, Addr: v.Addr,
+			Seq: v.Seq, Got: v.Got, Want: v.Want, Detail: v.Detail,
+		}
+	}
+	return nil
 }
 
 // reset clears accept-stream state across a power failure (the volatile
 // persist path is gone; recovery rewrites the image outside the stream).
-func (p *persistChecker) reset() {
-	p.outstanding = make(map[uint64][]pendingStore)
-	p.lastDurable = make(map[uint64]uint64)
-	for i := range p.armed {
-		p.armed[i] = nil
-	}
-}
+func (p *persistChecker) reset() { p.t.Reset() }
 
 func (p *persistChecker) observeCommitStore(core, seq int, addr, val uint64) {
-	q := p.outstanding[addr]
-	if len(q) == 0 {
-		if last, ok := p.lastDurable[addr]; ok && last == val {
-			// Already durable: the sync-persist ablation accepts a store's
-			// writeback before letting it retire, so the accept preceded
-			// this commit observation.
-			return
-		}
-	}
-	p.outstanding[addr] = append(q, pendingStore{core: core, seq: seq, val: val})
+	p.t.CommitStore(core, seq, addr, val)
 }
 
 func (p *persistChecker) observeAccept(cycle, line uint64, words *isa.LineWords) {
 	words.Range(line, func(addr, val uint64) {
-		p.accepts++
-		q := p.outstanding[addr]
-		for i := len(q) - 1; i >= 0; i-- {
-			if q[i].val == val {
-				// i and every older same-word store are durable (or
-				// subsumed); keep only the newer tail outstanding.
-				if tail := q[i+1:]; len(tail) == 0 {
-					delete(p.outstanding, addr)
-				} else {
-					p.outstanding[addr] = tail
-				}
-				p.lastDurable[addr] = val
-				return
-			}
-		}
-		if last, ok := p.lastDurable[addr]; ok && last == val {
-			return // idempotent re-accept (eviction of an already-durable value)
-		}
-		// A value no outstanding store explains: legal when the accept beat
-		// the commit observation (sync-persist ablation) or when a newer
-		// accept already retired the store (duplicate orderings). Counted,
-		// not fatal; the barrier and image checks are the hard invariants.
-		p.unmatched++
-		p.lastDurable[addr] = val
+		p.t.Accept(cycle, addr, val)
 	})
 }
 
-func (p *persistChecker) observeBarrierArm(core int) {
-	snap := make(map[uint64]int)
-	for addr, q := range p.outstanding {
-		for i := len(q) - 1; i >= 0; i-- {
-			if q[i].core == core {
-				snap[addr] = q[i].seq
-				break
-			}
-		}
-	}
-	p.armed[core] = snap
-}
+func (p *persistChecker) observeBarrierArm(core int) { p.t.BarrierArm(core) }
 
 func (p *persistChecker) observeBarrierComplete(core int, cycle uint64, cause pipeline.BoundaryCause) {
-	p.barriers++
-	snap := p.armed[core]
-	p.armed[core] = nil
-	if len(snap) == 0 {
-		return
-	}
-	addrs := make([]uint64, 0, len(snap))
-	for addr := range snap {
-		addrs = append(addrs, addr)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, addr := range addrs {
-		limit := snap[addr]
-		for _, st := range p.outstanding[addr] {
-			if st.core == core && st.seq <= limit {
-				p.viol = &PersistViolation{
-					Kind: "barrier-incomplete", Core: core, Cycle: cycle,
-					Addr: addr, Seq: st.seq, Got: st.val,
-					Detail: fmt.Sprintf("%s boundary completed at cycle %d but the store at seq %d ([%#x] <- %#x) committed before the barrier armed and is not durable",
-						cause, cycle, st.seq, addr, st.val),
-				}
-				return
-			}
-		}
-	}
+	p.t.BarrierComplete(core, cycle, cause.String())
 }
 
 // CheckFinal compares the durable image against the accept stream's record:
@@ -168,16 +91,16 @@ func (m *Machine) CheckFinal(img WordReader) error {
 	if err := m.Err(); err != nil {
 		return err
 	}
-	p := m.persist
-	addrs := make([]uint64, 0, len(p.lastDurable))
-	for addr := range p.lastDurable {
+	durable := m.persist.t.Durable()
+	addrs := make([]uint64, 0, len(durable))
+	for addr := range durable {
 		addrs = append(addrs, addr)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, addr := range addrs {
-		want := p.lastDurable[addr]
+		want := durable[addr]
 		if got := img.ReadWord(addr); got != want {
-			p.viol = &PersistViolation{
+			m.persist.imgViol = &PersistViolation{
 				Kind: "durable-image-mismatch", Core: -1, Addr: addr,
 				Got: got, Want: want,
 				Detail: fmt.Sprintf("durable image holds %#x but the accept stream last accepted %#x", got, want),
@@ -198,7 +121,7 @@ func (m *Machine) CheckRecovered(img WordReader, committed []int) error {
 	}
 	for core, cm := range m.cores {
 		if committed != nil && committed[core] != cm.next {
-			m.persist.viol = &PersistViolation{
+			m.persist.imgViol = &PersistViolation{
 				Kind: "recovered-count-mismatch", Core: core,
 				Got: uint64(committed[core]), Want: uint64(cm.next),
 				Detail: fmt.Sprintf("machine reports %d committed instructions, oracle checked %d", committed[core], cm.next),
@@ -214,7 +137,7 @@ func (m *Machine) CheckRecovered(img WordReader, committed []int) error {
 		for _, addr := range addrs {
 			want := snap[addr]
 			if got := img.ReadWord(addr); got != want {
-				m.persist.viol = &PersistViolation{
+				m.persist.imgViol = &PersistViolation{
 					Kind: "recovered-image-mismatch", Core: core, Addr: addr,
 					Got: got, Want: want,
 					Detail: fmt.Sprintf("recovered NVM holds %#x, oracle's committed prefix (%d insts) wrote %#x", got, cm.next, want),

@@ -661,7 +661,15 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 			}
 		}
 		if c.cfg.Scheme.AsyncPersist {
-			c.epochSnapSeq = c.hier.CurrentPersistSeq(c.cfg.CoreID)
+			snapCore := c.cfg.CoreID
+			if c.cfg.Threads > 1 && mutation.Is(mutation.PipelineBarrierSnapshotCrossCore) {
+				// Seeded bug PipelineBarrierSnapshotCrossCore: the boundary
+				// snapshots the *next* core's persist counter, so it waits
+				// on the wrong queue — instantly released when that queue
+				// is idle, leaving this core's region not yet durable.
+				snapCore = (c.cfg.CoreID + 1) % c.cfg.Threads
+			}
+			c.epochSnapSeq = c.hier.CurrentPersistSeq(snapCore)
 			if mutation.Is(mutation.PipelineBarrierSnapshotOffByOne) {
 				// Seeded bug: the snapshot misses the newest write-buffer
 				// entry, so the barrier stops waiting one entry early.

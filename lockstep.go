@@ -3,6 +3,7 @@ package ppa
 import (
 	"fmt"
 
+	"ppa/internal/litmus"
 	"ppa/internal/mutation"
 	"ppa/internal/oracle"
 )
@@ -52,8 +53,11 @@ type MutationOutcome struct {
 	Caught bool      `json:"caught"`
 	// CaughtBy names the first check that tripped: "clean-run" (lockstep
 	// divergence, persist violation, or durable-image mismatch during an
-	// uninterrupted run) or "crash-campaign" (recovery error, committed-
-	// prefix inconsistency, arch-state mismatch, or oracle recovery check).
+	// uninterrupted run), "crash-campaign" (recovery error, committed-
+	// prefix inconsistency, arch-state mismatch, or oracle recovery check),
+	// or "litmus-gate" (a forbidden outcome on the persistency-conformance
+	// corpus under perturbed multicore schedules — the only leg that runs
+	// more than one core, so multicore-gated bugs land here).
 	CaughtBy string `json:"caught_by,omitempty"`
 	// FailCycle is the crash cycle that caught it (crash-campaign only).
 	FailCycle uint64 `json:"fail_cycle,omitempty"`
@@ -173,6 +177,15 @@ func RunMutationCampaign(cc MutationCampaignConfig) (*MutationCampaignReport, er
 			break
 		}
 	}
+	// Baseline litmus gate: the unmutated simulator must clear the
+	// persistency-conformance corpus too, or catches on that leg would be
+	// meaningless.
+	if rep.BaselineClean {
+		if detail := litmusTrial(); detail != "" {
+			rep.BaselineClean = false
+			rep.BaselineDetail = "false alarm on litmus gate: " + detail
+		}
+	}
 
 	for _, m := range mutation.All() {
 		bug := SeededBug{ID: m.String(), Site: m.Site(), Description: m.Description()}
@@ -210,7 +223,31 @@ func probeMutation(rc RunConfig, bug SeededBug, failCycles []uint64) MutationOut
 			return out
 		}
 	}
+	// Leg 3: the persistency-conformance litmus gate. Legs 1–2 run a
+	// single-threaded workload; this is the multicore leg — it replays the
+	// curated litmus corpus under perturbed schedules and convicts bugs
+	// whose every intermediate NVM state looks individually plausible
+	// (stale coalesced words, barriers released against the wrong core).
+	if detail := litmusTrial(); detail != "" {
+		out.Caught = true
+		out.CaughtBy = "litmus-gate"
+		out.Detail = detail
+		return out
+	}
 	return out
+}
+
+// litmusTrial runs the built-in conformance corpus under a fixed
+// perturbation seed and returns the first forbidden outcome ("" if clean).
+func litmusTrial() string {
+	rep, err := litmus.RunCorpus(litmus.ConformanceCorpus(), litmus.RunOptions{Schedules: 16, Seed: 0xC0FFEE}, nil)
+	if err != nil {
+		return "litmus corpus error: " + err.Error()
+	}
+	if f := rep.FirstForbidden(); f != nil {
+		return f.String()
+	}
+	return ""
 }
 
 // crashTrial runs one crash-and-recover trial and names the first failing
