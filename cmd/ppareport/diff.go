@@ -49,6 +49,7 @@ type diffReport struct {
 	OldPath      string    `json:"old"`
 	NewPath      string    `json:"new"`
 	ThresholdPct float64   `json:"threshold_pct"`
+	TwoSided     bool      `json:"two_sided,omitempty"`
 	Regressions  int       `json:"regressions"`
 	Rows         []diffRow `json:"rows"`
 	OnlyOld      []string  `json:"only_in_old,omitempty"`
@@ -59,6 +60,7 @@ type diffReport struct {
 func runDiff(args []string) int {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	threshold := fs.Float64("threshold-pct", 20, "gated keys moving in their bad direction by more than this percentage are regressions")
+	twoSided := fs.Bool("two-sided", false, "gate every shared key on |delta| > threshold regardless of direction (equivalence checking, e.g. sampled-vs-full audits)")
 	lowerRe := fs.String("lower", defaultLowerBetter, "regexp for lower-is-better keys (gated)")
 	higherRe := fs.String("higher", defaultHigherBetter, "regexp for higher-is-better keys (gated)")
 	outPath := fs.String("out", "", "write the full diff as JSON (CI artifact)")
@@ -98,7 +100,7 @@ func runDiff(args []string) int {
 		return 2
 	}
 
-	rep := diffSeries(oldSeries, newSeries, *threshold, lower, higher)
+	rep := diffSeries(oldSeries, newSeries, *threshold, lower, higher, *twoSided)
 	rep.OldPath, rep.NewPath = oldPath, newPath
 
 	printDiff(os.Stdout, rep, *quiet)
@@ -116,8 +118,12 @@ func runDiff(args []string) int {
 }
 
 // diffSeries compares two flattened series and classifies every shared key.
-func diffSeries(oldS, newS map[string]float64, threshold float64, lower, higher *regexp.Regexp) *diffReport {
-	rep := &diffReport{Schema: "ppa-diff/v1", ThresholdPct: threshold}
+// With twoSided set, direction classification is bypassed: every shared key
+// is gated on the absolute drift — the shape an equivalence check (sampled
+// vs full run of the same trajectory) wants, where movement in either
+// direction is equally wrong.
+func diffSeries(oldS, newS map[string]float64, threshold float64, lower, higher *regexp.Regexp, twoSided bool) *diffReport {
+	rep := &diffReport{Schema: "ppa-diff/v1", ThresholdPct: threshold, TwoSided: twoSided}
 	keys := make([]string, 0, len(oldS))
 	for k := range oldS {
 		if _, ok := newS[k]; ok {
@@ -139,6 +145,8 @@ func diffSeries(oldS, newS map[string]float64, threshold float64, lower, higher 
 		o, n := oldS[k], newS[k]
 		row := diffRow{Key: k, Old: o, New: n, Direction: "info"}
 		switch {
+		case twoSided:
+			row.Direction = "two-sided"
 		case lower.MatchString(k):
 			row.Direction = "lower-better"
 		case higher.MatchString(k):
@@ -149,6 +157,8 @@ func diffSeries(oldS, newS map[string]float64, threshold float64, lower, higher 
 			// A zero baseline can't express a percentage change, so such
 			// keys are never gated — they still show in the table.
 			switch row.Direction {
+			case "two-sided":
+				row.Regression = row.DeltaPct > threshold || row.DeltaPct < -threshold
 			case "lower-better":
 				row.Regression = row.DeltaPct > threshold
 			case "higher-better":

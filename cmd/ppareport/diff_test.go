@@ -79,7 +79,7 @@ func TestDiffSeriesDirections(t *testing.T) {
 		"region.insts/mean":            900,   // info: never gated
 		"fresh":                        1,
 	}
-	rep := diffSeries(oldS, newS, 20, lower, higher)
+	rep := diffSeries(oldS, newS, 20, lower, higher, false)
 
 	want := map[string]bool{
 		"core_step/gcc/ns_per_cycle":   true,
@@ -104,13 +104,47 @@ func TestDiffSeriesDirections(t *testing.T) {
 	}
 }
 
+func TestDiffTwoSided(t *testing.T) {
+	lower := regexp.MustCompile(defaultLowerBetter)
+	higher := regexp.MustCompile(defaultHigherBetter)
+
+	oldS := map[string]float64{
+		"audit.gcc.ppa.cpi":         2.40, // +2.5% -> within 3%
+		"audit.mcf.ppa.cpi":         6.00, // -5% improvement -> still gated two-sided
+		"audit.mcf.ppa.persist-p95": 800,  // +10% -> regression
+	}
+	newS := map[string]float64{
+		"audit.gcc.ppa.cpi":         2.46,
+		"audit.mcf.ppa.cpi":         5.70,
+		"audit.mcf.ppa.persist-p95": 880,
+	}
+	rep := diffSeries(oldS, newS, 3, lower, higher, true)
+	want := map[string]bool{
+		"audit.gcc.ppa.cpi":         false,
+		"audit.mcf.ppa.cpi":         true,
+		"audit.mcf.ppa.persist-p95": true,
+	}
+	if rep.Regressions != 2 {
+		t.Errorf("regressions = %d, want 2", rep.Regressions)
+	}
+	for _, r := range rep.Rows {
+		if r.Direction != "two-sided" {
+			t.Errorf("%s: direction = %s, want two-sided", r.Key, r.Direction)
+		}
+		if r.Regression != want[r.Key] {
+			t.Errorf("%s: regression = %v, want %v (delta %+.1f%%)",
+				r.Key, r.Regression, want[r.Key], r.DeltaPct)
+		}
+	}
+}
+
 func TestDiffZeroBaselineNeverGates(t *testing.T) {
 	lower := regexp.MustCompile(defaultLowerBetter)
 	higher := regexp.MustCompile(defaultHigherBetter)
 	rep := diffSeries(
 		map[string]float64{"torture.violations": 0},
 		map[string]float64{"torture.violations": 3},
-		20, lower, higher)
+		20, lower, higher, false)
 	if rep.Regressions != 0 {
 		t.Errorf("zero-baseline key gated: %+v", rep.Rows)
 	}

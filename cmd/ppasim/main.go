@@ -9,10 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
@@ -57,6 +60,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot as JSON Lines")
 	serveAddr := flag.String("serve", "", "serve live observability over HTTP at this address (endpoints /metrics, /snapshot.json, /trace); the process keeps serving after the run until interrupted")
 	oracleFlag := flag.Bool("oracle", false, "run the differential lockstep oracle: cross-check every committed instruction against an ISA-level golden model and assert persist ordering; any divergence fails the run")
+	sampleFlag := flag.String("sample", "", "run in SMARTS-style sampled mode, e.g. 'window=50k,period=1M' (optional warm=N caps warm-up lines); cycles are extrapolated from the detailed windows")
+	sampleAuditDir := flag.String("sample-audit", "", "run each app/scheme both full and sampled (per -sample, default window=50k,period=1M) and write full.json, sampled.json, and report.json into this directory for ppareport diff -two-sided")
 	flag.Parse()
 
 	if *dumpConfig {
@@ -96,6 +101,21 @@ func main() {
 		schemes = append(schemes, s)
 	}
 
+	var sampleCfg multicore.SampleConfig
+	if *sampleFlag != "" || *sampleAuditDir != "" {
+		sc, err := parseSampleSpec(*sampleFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampleCfg = sc
+	}
+	if *sampleAuditDir != "" {
+		if err := runSampleAudit(profiles, schemes, sampleCfg, *insts, customize, *oracleFlag, *sampleAuditDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	// One hub for the whole invocation: events from sequential runs share
 	// the trace (per-run cycle clocks restart at 0), counters accumulate.
 	// Output files are created up front so a bad path fails before the
@@ -124,31 +144,56 @@ func main() {
 		log.Printf("serving observability on http://%s (/metrics /snapshot.json /trace)", srv.Addr())
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "app\tscheme\tcycles\tIPC\tregions\tavg-len\tavg-stores\tregion-stall%\tslowdown")
-	var baseCycles map[string]uint64 = map[string]uint64{}
-	for _, p := range profiles {
-		for _, s := range schemes {
-			res, err := runOne(p, s, *insts, customize, hub, *oracleFlag)
-			if err != nil {
-				log.Fatalf("%s/%s: %v", p.Name, s.Kind, err)
-			}
-			slow := "-"
-			if s.Kind == persist.Baseline {
-				baseCycles[p.Name] = res.Cycles
-			} else if b, ok := baseCycles[p.Name]; ok && b > 0 {
-				slow = fmt.Sprintf("%.3f", float64(res.Cycles)/float64(b))
-			}
-			fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%d\t%.0f\t%.1f\t%.2f%%\t%s\n",
-				p.Name, s.Kind, res.Cycles, res.IPC(),
-				totalRegions(res), res.AvgRegionLen(), res.AvgRegionStores(),
-				res.RegionEndStallFrac()*100, slow)
-			if *verbose {
-				printVerbose(res)
+	if *sampleFlag != "" {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "app\tscheme\twindows\tdetailed%\test-cycles\tCPI\tslowdown")
+		baseCPI := map[string]float64{}
+		for _, p := range profiles {
+			for _, s := range schemes {
+				res, err := runOneSampled(p, s, *insts, sampleCfg, customize, hub, *oracleFlag)
+				if err != nil {
+					log.Fatalf("%s/%s: %v", p.Name, s.Kind, err)
+				}
+				slow := "-"
+				if s.Kind == persist.Baseline {
+					baseCPI[p.Name] = res.CPI()
+				} else if b, ok := baseCPI[p.Name]; ok && b > 0 {
+					slow = fmt.Sprintf("%.3f", res.CPI()/b)
+				}
+				detailed := float64(res.DetailedInsts) / float64(res.Insts) * 100
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f%%\t%.0f\t%.3f\t%s\n",
+					p.Name, s.Kind, res.Windows, detailed, res.EstCycles, res.CPI(), slow)
 			}
 		}
+		tw.Flush()
+		fmt.Println("# sampled mode: cycle counts are extrapolated from detailed windows; validate with -sample-audit")
+	} else {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "app\tscheme\tcycles\tIPC\tregions\tavg-len\tavg-stores\tregion-stall%\tslowdown")
+		var baseCycles map[string]uint64 = map[string]uint64{}
+		for _, p := range profiles {
+			for _, s := range schemes {
+				res, err := runOne(p, s, *insts, customize, hub, *oracleFlag)
+				if err != nil {
+					log.Fatalf("%s/%s: %v", p.Name, s.Kind, err)
+				}
+				slow := "-"
+				if s.Kind == persist.Baseline {
+					baseCycles[p.Name] = res.Cycles
+				} else if b, ok := baseCycles[p.Name]; ok && b > 0 {
+					slow = fmt.Sprintf("%.3f", float64(res.Cycles)/float64(b))
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%d\t%.0f\t%.1f\t%.2f%%\t%s\n",
+					p.Name, s.Kind, res.Cycles, res.IPC(),
+					totalRegions(res), res.AvgRegionLen(), res.AvgRegionStores(),
+					res.RegionEndStallFrac()*100, slow)
+				if *verbose {
+					printVerbose(res)
+				}
+			}
+		}
+		tw.Flush()
 	}
-	tw.Flush()
 
 	if traceFile != nil {
 		if err := writeTrace(traceFile, hub, *traceSpans); err != nil {
@@ -210,6 +255,120 @@ func runOne(p workload.Profile, s persist.Config, insts int, customize func(*mul
 		return nil, err
 	}
 	return sys.Collect(), nil
+}
+
+// parseSampleSpec parses the -sample value: comma-separated key=value pairs
+// (window, period, warm) with optional k/K (×1e3) and m/M (×1e6) suffixes.
+// An empty spec selects the canonical window=50k,period=1M regime.
+func parseSampleSpec(spec string) (multicore.SampleConfig, error) {
+	sc := multicore.SampleConfig{Window: 50_000, Period: 1_000_000}
+	if spec == "" {
+		return sc, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return sc, fmt.Errorf("bad -sample entry %q: want key=value", part)
+		}
+		n, err := parseScaled(kv[1])
+		if err != nil {
+			return sc, fmt.Errorf("bad -sample value %q: %v", part, err)
+		}
+		switch strings.ToLower(kv[0]) {
+		case "window":
+			sc.Window = n
+		case "period":
+			sc.Period = n
+		case "warm":
+			sc.WarmLines = n
+		default:
+			return sc, fmt.Errorf("unknown -sample key %q (window|period|warm)", kv[0])
+		}
+	}
+	return sc, sc.Validate()
+}
+
+// parseScaled parses an integer with an optional k/K or m/M suffix.
+func parseScaled(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult, s = 1_000, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"), strings.HasSuffix(s, "M"):
+		mult, s = 1_000_000, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+// runOneSampled builds and runs one sampled-mode simulation.
+func runOneSampled(p workload.Profile, s persist.Config, insts int, sc multicore.SampleConfig, customize func(*multicore.Config), hub *obs.Hub, oracle bool) (*multicore.SampledResult, error) {
+	return ppa.RunSampled(ppa.RunConfig{
+		Profile:        &p,
+		SchemeOverride: &s,
+		InstsPerThread: insts,
+		Customize:      customize,
+		Obs:            hub,
+		Lockstep:       oracle,
+	}, sc)
+}
+
+// runSampleAudit runs every app/scheme pair both full and sampled, prints
+// the accuracy/speedup summary, and writes three files into dir:
+// full.json and sampled.json (obs sample arrays holding only the metrics
+// that must agree — gate them with ppareport diff -two-sided) and
+// report.json (the complete audit reports, speedup included).
+func runSampleAudit(profiles []workload.Profile, schemes []persist.Config, sc multicore.SampleConfig, insts int, customize func(*multicore.Config), oracle bool, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var fullS, sampledS []obs.Sample
+	var reports []*ppa.SampleAuditReport
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tscheme\tfull-CPI\tsampled-CPI\terr%\tp95-err%\tspeedup")
+	for _, p := range profiles {
+		for _, s := range schemes {
+			p := p
+			s := s
+			rep, err := ppa.SampleAudit(ppa.RunConfig{
+				Profile:        &p,
+				SchemeOverride: &s,
+				InstsPerThread: insts,
+				Customize:      customize,
+				Lockstep:       oracle,
+			}, sc)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %v", p.Name, s.Kind, err)
+			}
+			f, smp := rep.AuditSamples(fmt.Sprintf("audit.%s.%s", rep.App, rep.Scheme))
+			fullS = append(fullS, f...)
+			sampledS = append(sampledS, smp...)
+			reports = append(reports, rep)
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.2f%%\t%.2f%%\t%.1fx\n",
+				rep.App, rep.Scheme, rep.FullCPI, rep.SampledCPI,
+				rep.CPIErrPct, rep.PersistP95ErrPct, rep.Speedup)
+		}
+	}
+	tw.Flush()
+	for name, v := range map[string]any{
+		"full.json":    fullS,
+		"sampled.json": sampledS,
+		"report.json":  reports,
+	} {
+		blob, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("# audit artifacts in %s; gate with: ppareport diff -two-sided -threshold-pct 3 %s %s\n",
+		dir, filepath.Join(dir, "full.json"), filepath.Join(dir, "sampled.json"))
+	return nil
 }
 
 func totalRegions(res *multicore.Result) uint64 {

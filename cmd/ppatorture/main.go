@@ -65,6 +65,15 @@ func main() {
 	if *fabricUnit < 1 {
 		log.Fatal(&fabric.FlagError{Flag: "fabric-unit", Value: fmt.Sprint(*fabricUnit), Reason: "must be >= 1"})
 	}
+	if *maxCycle <= *minCycle {
+		// TorturePoints would silently clamp an empty range to a single
+		// cycle; at the CLI that hides a flag mistake, so fail loudly.
+		log.Fatal(&fabric.FlagError{
+			Flag:   "maxcycle",
+			Value:  fmt.Sprint(*maxCycle),
+			Reason: fmt.Sprintf("failure-cycle range [%d, %d) is empty; -maxcycle must exceed -mincycle", *minCycle, *maxCycle),
+		})
+	}
 
 	hub := ppa.NewObsHub(0)
 	if *serveAddr != "" {
@@ -90,7 +99,10 @@ func main() {
 		return
 	}
 
-	sweep := ppa.TorturePoints(*seed, *points, *minCycle, *maxCycle)
+	sweep, err := ppa.TorturePointsChecked(*seed, *points, *minCycle, *maxCycle)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *kindFlag != "" {
 		k, err := fault.ParseKind(*kindFlag)
 		if err != nil {
@@ -117,7 +129,6 @@ func main() {
 		}
 	}
 	var rep *ppa.TortureReport
-	var err error
 	if *fabricAddr != "" {
 		rep, err = runFabric(fabricOptions{
 			listen:   *fabricAddr,

@@ -916,6 +916,31 @@ func (h *Hierarchy) Tick(cycle uint64) error {
 	return nil
 }
 
+// WarmInstall installs a set of clean lines for one core, bottom-up
+// (DRAM cache, shared SRAM, private levels, L1D), without touching hit/miss
+// statistics — the sampled runner's functional warm-up, replaying the lines
+// a fast-forwarded stretch touched so a detailed window does not open on a
+// cold hierarchy. Lines must be ordered oldest-touch first so recency
+// replacement leaves the most recently touched lines resident. Installs are
+// clean; on the fresh hierarchy a window opens with, victims carry no dirty
+// words, so nothing is queued toward the NVM.
+func (h *Hierarchy) WarmInstall(core int, lines []uint64) {
+	for _, line := range lines {
+		if h.p.Mode == MemoryMode {
+			h.installDRAM(line, false)
+		}
+		if h.p.UseL3 {
+			h.installSharedL3(line, false)
+			if v, d, ev := h.l2p[core].install(line, false); ev && d {
+				h.l3.markDirty(v)
+			}
+		} else {
+			h.installShared(h.l2, line, false)
+		}
+		h.installL1(core, line, false)
+	}
+}
+
 // FlushAllDirty writes every volatile dirty word to the NVM image — the
 // eADR/battery-backed flush-on-failure path, whose energy cost is the
 // supercapacitor budget PPA's tiny checkpoint replaces. It returns the

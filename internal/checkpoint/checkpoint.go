@@ -278,6 +278,31 @@ func SectionName(i int) string {
 // EncodeAll concatenates the per-core images into the single blob the
 // checkpoint controller streams to the designated NVM area. The v2 header's
 // length field makes the concatenation self-framing for DecodeAll.
+// AppendSection exposes the checkpoint wire framing — [len u32 | payload |
+// crc32c u32], CRC covering length and payload — for sibling snapshot
+// formats (the sampled runner's window snapshots) so every persistent blob
+// in the tree shares one integrity convention.
+func AppendSection(b, payload []byte) []byte { return appendSection(b, payload) }
+
+// NextSection parses one AppendSection frame from the front of b,
+// returning the payload and the remaining bytes. Errors wrap ErrTruncated
+// or ErrChecksum like the checkpoint decoder's own sections.
+func NextSection(b []byte) (payload, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: %d bytes, section length needs 4", ErrTruncated, len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[:4]))
+	end := 4 + n
+	if len(b) < end+4 {
+		return nil, nil, fmt.Errorf("%w: section of %d bytes in %d remaining", ErrTruncated, n, len(b))
+	}
+	want := binary.LittleEndian.Uint32(b[end : end+4])
+	if got := crc32.Checksum(b[:end], crcTable); got != want {
+		return nil, nil, fmt.Errorf("%w: section crc %#x, stored %#x", ErrChecksum, got, want)
+	}
+	return b[4:end], b[end+4:], nil
+}
+
 func EncodeAll(images []*Image) []byte {
 	var b []byte
 	for _, im := range images {

@@ -78,6 +78,18 @@ func (m *MapMemory) Snapshot() map[uint64]uint64 {
 	return out
 }
 
+// Clone returns a deep copy sharing no storage with m — the fast-forward
+// engine hands clones to pipeline frontends so their ahead-of-commit writes
+// cannot disturb the golden model's own memory.
+func (m *MapMemory) Clone() *MapMemory {
+	c := &MapMemory{lines: make(map[uint64]*LineWords, len(m.lines)), words: m.words}
+	for base, lw := range m.lines {
+		dup := *lw
+		c.lines[base] = &dup
+	}
+	return c
+}
+
 // Range calls fn for every written word until fn returns false.
 func (m *MapMemory) Range(fn func(addr, val uint64) bool) {
 	for base, lw := range m.lines {

@@ -1,0 +1,287 @@
+package multicore
+
+// Sampled execution (SMARTS-style): the machine alternates between short
+// detailed windows — the full out-of-order multicore, optionally under the
+// lockstep oracle — and long fast-forwarded stretches where only the
+// oracle's functional executor advances architectural state, the NVM image,
+// and a cache warm-up model. Whole-run cycles are extrapolated by charging
+// each skipped stretch at its adjacent window's CPI; persist-latency
+// distributions come from the detailed windows unscaled. Accuracy is not
+// assumed: ppasim -sample-audit runs the same trajectory both ways and
+// ppareport diff gates the CPI / persist-p95 error in CI.
+
+import (
+	"fmt"
+
+	"ppa/internal/isa"
+	"ppa/internal/nvm"
+	"ppa/internal/oracle"
+	"ppa/internal/stats"
+	"ppa/internal/workload"
+)
+
+// SampleConfig sets the sampling regime, in dynamic instructions per core:
+// each period begins with Window detailed instructions and fast-forwards
+// the remaining Period-Window.
+type SampleConfig struct {
+	Window int `json:"window"`
+	Period int `json:"period"`
+	// WarmLines bounds the per-core warm-up model (lines installed into
+	// the fresh hierarchy at each window start). Zero means the default.
+	WarmLines int `json:"warm_lines,omitempty"`
+}
+
+// Validate rejects degenerate regimes.
+func (sc SampleConfig) Validate() error {
+	if sc.Window <= 0 {
+		return fmt.Errorf("multicore: sample window %d must be positive", sc.Window)
+	}
+	if sc.Period < sc.Window {
+		return fmt.Errorf("multicore: sample period %d shorter than window %d", sc.Period, sc.Window)
+	}
+	return nil
+}
+
+// SampledResult aggregates a sampled run.
+type SampledResult struct {
+	Scheme   string `json:"scheme"`
+	Workload string `json:"workload"`
+	Cores    int    `json:"cores"`
+
+	Windows        int     `json:"windows"`
+	DetailedCycles uint64  `json:"detailed_cycles"`
+	DetailedInsts  uint64  `json:"detailed_insts"`
+	SkippedInsts   uint64  `json:"skipped_insts"`
+	EstCycles      float64 `json:"est_cycles"`
+	Insts          uint64  `json:"insts"`
+}
+
+// CPI returns the extrapolated whole-run cycles per instruction.
+func (r *SampledResult) CPI() float64 {
+	return stats.Ratio(r.EstCycles, float64(r.Insts))
+}
+
+// IPC returns the extrapolated whole-run instructions per cycle.
+func (r *SampledResult) IPC() float64 {
+	return stats.Ratio(float64(r.Insts), r.EstCycles)
+}
+
+// SampledSystem is the sampled-mode counterpart of System. It owns the
+// state that survives across detailed windows: the functional engine
+// (golden models + persist checker), the NVM device whose image is the
+// architectural memory carrier, per-core trace positions, and the warm-up
+// models. Each RunWindow builds a fresh detailed System around that state,
+// quiesces it at the window boundary, and fast-forwards the skip.
+type SampledSystem struct {
+	cfg    Config
+	sc     SampleConfig
+	w      *workload.Workload
+	engine *oracle.Machine
+	dev    *nvm.Device
+	pos    []int // per-core next dynamic instruction
+	warm   []*oracle.Warmth
+	est    stats.SampledEstimate
+	win    int
+}
+
+// NewSampled builds a sampled-mode machine over the workload.
+func NewSampled(cfg Config, w *workload.Workload, sc SampleConfig) (*SampledSystem, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w.Threads) == 0 {
+		return nil, fmt.Errorf("multicore: workload has no threads")
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SampledSystem{
+		cfg:    cfg,
+		sc:     sc,
+		w:      w,
+		engine: oracle.New(w.Threads, nil),
+		dev:    nvm.NewDevice(cfg.NVM),
+		pos:    make([]int, len(w.Threads)),
+		warm:   make([]*oracle.Warmth, len(w.Threads)),
+	}
+	for i := range s.warm {
+		s.warm[i] = oracle.NewWarmth(sc.WarmLines)
+	}
+	return s, nil
+}
+
+// Done reports whether every core's trace has been fully executed
+// (in detail or fast-forwarded).
+func (s *SampledSystem) Done() bool {
+	for i, p := range s.pos {
+		if p < s.w.Threads[i].Len() {
+			return false
+		}
+	}
+	return true
+}
+
+// Device exposes the run-long NVM device; its image is the exact
+// architectural memory after every completed window+skip.
+func (s *SampledSystem) Device() *nvm.Device { return s.dev }
+
+// Engine exposes the run-long functional engine.
+func (s *SampledSystem) Engine() *oracle.Machine { return s.engine }
+
+// Windows returns how many detailed windows have run.
+func (s *SampledSystem) Windows() int { return s.win }
+
+// RunWindow executes one detailed window at the current positions, then
+// fast-forwards to the next window start.
+func (s *SampledSystem) RunWindow() error {
+	stops := make([]int, len(s.pos))
+	fronts := make([]*isa.GoldenResult, len(s.pos))
+	windowInsts := 0
+	for i, p := range s.pos {
+		stops[i] = minInt(p+s.sc.Window, s.w.Threads[i].Len())
+		fronts[i] = s.engine.Golden(i)
+		windowInsts += stops[i] - p
+	}
+
+	cfg := s.cfg
+	cfg.engine = s.engine
+	cfg.fronts = fronts
+	cfg.stops = stops
+	sys, err := newSystem(cfg, s.w, s.dev, append([]int(nil), s.pos...))
+	if err != nil {
+		return err
+	}
+	for i := range s.pos {
+		sys.hier.WarmInstall(i, s.warm[i].Lines())
+	}
+
+	// Detailed simulation until every core quiesces at its stop.
+	bound := uint64(windowInsts)*4000 + 1_000_000
+	if err := sys.Run(bound); err != nil {
+		return err
+	}
+	windowCycles := sys.Cycle()
+
+	// Window exit: drain the persist paths so every committed store is
+	// durable, flush residual volatile dirt into the image (making it
+	// architecturally complete for the skip), check the drained image
+	// against the accept stream where the scheme admits it, and reset
+	// persist tracking and the device clock for the regime change.
+	if err := sys.drainAll(bound); err != nil {
+		return err
+	}
+	sys.hier.FlushAllDirty()
+	if cfg.Lockstep && cfg.Scheme.AsyncPersist && !cfg.Scheme.UseRedoPath {
+		if err := s.engine.CheckFinal(s.dev.Image()); err != nil {
+			return err
+		}
+	}
+	s.engine.ResetPersistTracking()
+	s.dev.ResetClock()
+
+	// Catch the engine up through the window (a no-op under lockstep,
+	// where it tracked every commit) and fast-forward the skipped stretch,
+	// advancing golden state, image, and warm-up models.
+	skipped := 0
+	for i := range s.pos {
+		next := minInt(s.pos[i]+s.sc.Period, s.w.Threads[i].Len())
+		if next < stops[i] {
+			next = stops[i]
+		}
+		if err := s.engine.FastForward(i, stops[i], s.dev.Image(), nil); err != nil {
+			return err
+		}
+		if err := s.engine.FastForward(i, next, s.dev.Image(), s.warm[i]); err != nil {
+			return err
+		}
+		skipped += next - stops[i]
+		s.pos[i] = next
+	}
+	s.est.AddWindow(windowCycles, uint64(windowInsts), uint64(skipped))
+	s.win++
+	return nil
+}
+
+// Result snapshots the run's extrapolated aggregates (final once Done) and
+// registers the sampled gauges — marked Sampled — on the obs registry.
+func (s *SampledSystem) Result() *SampledResult {
+	res := &SampledResult{
+		Scheme:         s.cfg.Scheme.Kind.String(),
+		Workload:       s.w.Profile.Name,
+		Cores:          len(s.w.Threads),
+		Windows:        s.win,
+		DetailedCycles: s.est.DetailedCycles,
+		DetailedInsts:  s.est.DetailedInsts,
+		SkippedInsts:   s.est.SkippedInsts,
+		EstCycles:      s.est.EstimatedCycles,
+		Insts:          s.est.DetailedInsts + s.est.SkippedInsts,
+	}
+	if reg := s.cfg.Obs.Registry(); reg != nil {
+		reg.Gauge("sampled.windows").Set(float64(res.Windows))
+		reg.Gauge("sampled.est-cycles").Set(res.EstCycles)
+		reg.Gauge("sampled.cpi").Set(res.CPI())
+		reg.Gauge("sampled.detailed-frac").Set(s.est.DetailedFraction())
+		for _, name := range []string{
+			"sampled.est-cycles", "sampled.cpi",
+			"store.commit-to-durable-cycles",
+		} {
+			reg.MarkSampled(name)
+		}
+	}
+	return res
+}
+
+// RunSampled executes the workload under cfg in sampled mode. The returned
+// result's cycle count is an extrapolation; architectural state (registers,
+// memory, NVM image) is exact — every instruction executes functionally,
+// only timing is sampled.
+func RunSampled(cfg Config, w *workload.Workload, sc SampleConfig) (*SampledResult, error) {
+	s, err := NewSampled(cfg, w, sc)
+	if err != nil {
+		return nil, err
+	}
+	for !s.Done() {
+		if err := s.RunWindow(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Result(), nil
+}
+
+// drainAll ticks the memory system and the redo paths (cores idle) until
+// the write buffers, eviction queue, WPQ, and redo buffers are all empty.
+// Unlike DrainPersists it advances the redo paths too, so a Capri window
+// cannot exit with undrained redo entries.
+func (s *System) drainAll(budget uint64) error {
+	deadline := s.cycle + budget
+	for {
+		pending := s.hier.PersistBacklog() > 0 || !s.dev.Drained(s.cycle)
+		for _, r := range s.redos {
+			for c := 0; c < len(s.cores); c++ {
+				if r.PendingOf(c) > 0 {
+					pending = true
+				}
+			}
+		}
+		if !pending {
+			return nil
+		}
+		if s.cycle >= deadline {
+			return fmt.Errorf("multicore: window persist backlog not drained within %d cycles", budget)
+		}
+		if err := s.hier.Tick(s.cycle); err != nil {
+			return err
+		}
+		for _, r := range s.redos {
+			r.Tick(s.cycle)
+		}
+		s.cycle++
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

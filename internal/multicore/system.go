@@ -11,6 +11,7 @@ import (
 
 	"ppa/internal/cache"
 	"ppa/internal/checkpoint"
+	"ppa/internal/isa"
 	"ppa/internal/nvm"
 	"ppa/internal/obs"
 	"ppa/internal/oracle"
@@ -51,6 +52,16 @@ type Config struct {
 	// cache.Hierarchy.SetPersistPerturb). It must be a pure function of
 	// (core, cycle) so runs stay deterministic. Excluded from JSON.
 	PersistPerturb func(core int, cycle uint64) bool `json:"-"`
+
+	// Sampled-mode injection, set only by this package's sampled runner:
+	// the detailed-window system reuses the run-long oracle engine instead
+	// of building a fresh one, starts each core's frontend from a golden
+	// clone positioned at the window start, and caps each core at the
+	// window end. Unexported so the public (and JSON) config surface is
+	// unchanged.
+	engine *oracle.Machine
+	fronts []*isa.GoldenResult
+	stops  []int
 }
 
 // DefaultConfig returns the Table 2 machine for n cores under a scheme.
@@ -146,7 +157,11 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 
 	s := &System{cfg: cfg, w: w, dev: dev, hier: hier}
 	if cfg.Lockstep {
-		s.oracle = oracle.New(w.Threads, startAt)
+		if cfg.engine != nil {
+			s.oracle = cfg.engine
+		} else {
+			s.oracle = oracle.New(w.Threads, startAt)
+		}
 		dev.SetAcceptObserver(s.oracle.ObserveAccept)
 	}
 	var redo *persist.RedoPath
@@ -163,6 +178,12 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 		pcfg.SyncContention = w.Profile.SyncContention
 		if startAt != nil {
 			pcfg.StartAt = startAt[i]
+		}
+		if cfg.fronts != nil {
+			pcfg.Front = cfg.fronts[i]
+		}
+		if cfg.stops != nil {
+			pcfg.StopAt = cfg.stops[i]
 		}
 		core, err := pipeline.New(pcfg, prog, hier, redo)
 		if err != nil {

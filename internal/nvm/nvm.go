@@ -591,3 +591,17 @@ func (d *Device) PowerFail() {
 		d.chans[i] = channel{}
 	}
 }
+
+// ResetClock rebases the device's absolute-cycle timing state (per-channel
+// media-busy deadlines and the observer stamp) to cycle zero. The sampled
+// runner calls it between detailed windows — each window's system restarts
+// its cycle clock at zero, and a stale busy deadline from the previous
+// window would otherwise stall the channel for thousands of phantom
+// cycles. Callers must have drained the device first (empty WPQs); WCB
+// residency carries no timestamps and survives as timing warmth.
+func (d *Device) ResetClock() {
+	d.now = 0
+	for i := range d.chans {
+		d.chans[i].writeBusy = 0
+	}
+}

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -87,8 +89,8 @@ func TestHistogramQuantileError(t *testing.T) {
 			if got := h.Mean(); math.Abs(got-sum/n) > 1e-6*math.Abs(sum/n)+1e-9 {
 				t.Errorf("mean = %g, want %g", got, sum/n)
 			}
-			for _, q := range []float64{0.5, 0.95, 0.99} {
-				exact := vals[int(math.Ceil(q*n))-1]
+			for _, q := range []float64{0, 0.00001, 0.5, 0.95, 0.99, 1} {
+				exact := exactQuantile(vals, q)
 				got := h.Quantile(q)
 				// Bucket upper bounds overestimate by at most one sub-bucket
 				// width: 1/8 of the value's octave, i.e. <= 12.5% relative.
@@ -104,6 +106,67 @@ func TestHistogramQuantileError(t *testing.T) {
 				t.Errorf("q1 = %g, want max %g", got, vals[n-1])
 			}
 		})
+	}
+}
+
+// exactQuantile is the reference quantile over a sorted sample: the
+// smallest value with at least ceil(q*n) observations at or below it. The
+// index is clamped to [0, n-1] — ceil(q*n)-1 is -1 at q=0 (a panic) and
+// underreads by one rank whenever q*n < 1, both of which bit this helper
+// before it was extracted.
+func exactQuantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > len(sorted)-1 {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TestQuantileEdgesThroughExposition audits the p0/p100 edge through the
+// exposition layers: direct Quantile calls at 0 and 1, the registry
+// snapshot, and the Prometheus text writer must all survive empty,
+// single-value, and populated histograms without panicking, and the edge
+// quantiles must pin to min/max.
+func TestQuantileEdgesThroughExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty")
+	r.Histogram("single").Observe(42)
+	pop := r.Histogram("populated")
+	for i := 1; i <= 100; i++ {
+		pop.Observe(float64(i))
+	}
+
+	for name, h := range map[string]*Histogram{
+		"empty": r.Histogram("empty"), "single": r.Histogram("single"), "populated": pop,
+	} {
+		for _, q := range []float64{0, 1, -0.5, 1.5} {
+			got := h.Quantile(q) // must not panic; <=0 pins to min, >=1 to max
+			switch {
+			case name == "empty" && got != 0:
+				t.Errorf("empty q%g = %g, want 0", q, got)
+			case name == "single" && got != 42:
+				t.Errorf("single q%g = %g, want 42", q, got)
+			case name == "populated" && q <= 0 && got != 1:
+				t.Errorf("populated q%g = %g, want min 1", q, got)
+			case name == "populated" && q >= 1 && got != 100:
+				t.Errorf("populated q%g = %g, want max 100", q, got)
+			}
+		}
+	}
+
+	samples := r.Snapshot()
+	if len(samples) != 3 {
+		t.Fatalf("snapshot has %d samples, want 3", len(samples))
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `quantile="0.95"`) {
+		t.Errorf("exposition lacks summary quantiles:\n%s", buf.String())
 	}
 }
 

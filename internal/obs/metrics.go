@@ -263,6 +263,11 @@ type metric struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
+	// sampled names metrics whose values are extrapolated from sampled
+	// simulation windows rather than measured over the whole run; their
+	// snapshot samples carry Sampled: true so downstream consumers can
+	// tell an estimate from a measurement.
+	sampled map[string]bool
 }
 
 // NewRegistry returns an empty registry.
@@ -389,6 +394,9 @@ type Sample struct {
 	Name  string  `json:"name"`
 	Kind  string  `json:"kind"`
 	Value float64 `json:"value"`
+	// Sampled marks a value extrapolated from sampled-simulation windows
+	// (marked via Registry.MarkSampled) rather than measured end to end.
+	Sampled bool `json:"sampled,omitempty"`
 	// Histogram-only fields.
 	Count uint64  `json:"count,omitempty"`
 	Sum   float64 `json:"sum,omitempty"`
@@ -410,6 +418,21 @@ func (r *Registry) Snapshot() []Sample { return r.snapshot(true) }
 // histograms are atomic/mutex-protected and always safe to read.
 func (r *Registry) SnapshotLive() []Sample { return r.snapshot(false) }
 
+// MarkSampled tags a metric name as sampled-extrapolated: its snapshot
+// samples carry Sampled: true. Marking a name that is never registered is
+// harmless.
+func (r *Registry) MarkSampled(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.sampled == nil {
+		r.sampled = make(map[string]bool)
+	}
+	r.sampled[name] = true
+	r.mu.Unlock()
+}
+
 func (r *Registry) snapshot(gaugeFuncs bool) []Sample {
 	if r == nil {
 		return nil
@@ -424,15 +447,17 @@ func (r *Registry) snapshot(gaugeFuncs bool) []Sample {
 	}
 	ms := make([]*metric, 0, len(names))
 	sort.Strings(names)
+	sampled := make([]bool, 0, len(names))
 	for _, n := range names {
 		ms = append(ms, r.metrics[n])
+		sampled = append(sampled, r.sampled[n])
 	}
 	r.mu.Unlock()
 
 	out := make([]Sample, 0, len(names))
 	for i, n := range names {
 		m := ms[i]
-		s := Sample{Name: n, Kind: m.kind.String()}
+		s := Sample{Name: n, Kind: m.kind.String(), Sampled: sampled[i]}
 		switch m.kind {
 		case kindCounter:
 			s.Value = float64(m.ctr.Value())
@@ -491,6 +516,16 @@ func (r *Registry) Merge(src *Registry) {
 		case kindHistogram:
 			r.Histogram(n).merge(m.hist)
 		}
+	}
+
+	src.mu.Lock()
+	marks := make([]string, 0, len(src.sampled))
+	for n := range src.sampled {
+		marks = append(marks, n)
+	}
+	src.mu.Unlock()
+	for _, n := range marks {
+		r.MarkSampled(n)
 	}
 }
 

@@ -65,6 +65,20 @@ type Config struct {
 	// resume a recovered program after LCPC).
 	StartAt int
 
+	// StopAt, when positive, caps execution at a dynamic instruction index:
+	// rename stops there and the core reports Done once everything up to it
+	// has committed and the ROB is empty. Zero (or a value past the trace
+	// end) means run to the end of the trace. The sampled runner uses this
+	// to quiesce a core exactly at a detailed-window boundary.
+	StopAt int
+
+	// Front, when non-nil, seeds the core's program-order functional
+	// frontend from an existing golden state at StartAt instead of
+	// re-executing the prefix. The caller must hand over an exclusive deep
+	// copy (the core mutates it at dispatch) positioned exactly at StartAt.
+	// Excluded from JSON so machine configs stay serializable.
+	Front *isa.GoldenResult `json:"-"`
+
 	// Obs is the optional observability hub (event tracing + metrics). A
 	// nil hub disables instrumentation at nil-check cost. Excluded from
 	// JSON so machine configs stay serializable.
@@ -278,6 +292,7 @@ type Core struct {
 	lcpc uint64
 
 	committed int
+	stop      int               // rename/commit cap (trace length or Config.StopAt)
 	front     *isa.GoldenResult // program-order functional oracle
 
 	st   Stats
@@ -340,7 +355,22 @@ func New(cfg Config, prog *isa.Program, hier *cache.Hierarchy, redo *persist.Red
 		rngState:   uint64(cfg.CoreID)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
 	}
 	c.committed = cfg.StartAt
-	c.front = isa.RunGolden(prog, cfg.StartAt)
+	c.stop = prog.Len()
+	if cfg.StopAt > 0 && cfg.StopAt < prog.Len() {
+		c.stop = cfg.StopAt
+	}
+	if c.stop < cfg.StartAt {
+		return nil, fmt.Errorf("pipeline: stop %d before start %d", c.stop, cfg.StartAt)
+	}
+	if cfg.Front != nil {
+		if cfg.Front.Executed != cfg.StartAt {
+			return nil, fmt.Errorf("pipeline: injected front at instruction %d, core starts at %d",
+				cfg.Front.Executed, cfg.StartAt)
+		}
+		c.front = cfg.Front
+	} else {
+		c.front = isa.RunGolden(prog, cfg.StartAt)
+	}
 	if cfg.SampleFreeRegs {
 		c.st.FreeInt = stats.NewCDF()
 		c.st.FreeFP = stats.NewCDF()
@@ -413,7 +443,7 @@ func (c *Core) Step(cycle uint64) {
 		c.st.FreeInt.Add(c.ren.FreeCount(isa.ClassInt))
 		c.st.FreeFP.Add(c.ren.FreeCount(isa.ClassFP))
 	}
-	if c.committed >= c.prog.Len() && c.robLen == 0 {
+	if c.committed >= c.stop && c.robLen == 0 {
 		c.done = true
 	}
 }
@@ -856,7 +886,7 @@ func (c *Core) noteDrainWait(cycle uint64) {
 // renameStage renames up to Width instructions, handling region boundaries
 // and structural stalls.
 func (c *Core) renameStage(cycle uint64) {
-	if c.next >= c.prog.Len() {
+	if c.next >= c.stop {
 		return
 	}
 	if c.frontStallUntil > cycle {
@@ -874,7 +904,7 @@ func (c *Core) renameStage(cycle uint64) {
 		return
 	}
 
-	for w := c.cfg.Width; w > 0 && c.next < c.prog.Len(); {
+	for w := c.cfg.Width; w > 0 && c.next < c.stop; {
 		in := &c.prog.Insts[c.next]
 
 		// Fixed-length compiler regions: tag the instruction that begins a

@@ -218,3 +218,40 @@ func Ratio(a, b float64) float64 {
 
 // Pct formats a fraction as a percentage string with one decimal.
 func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// SampledEstimate accumulates SMARTS-style sampled-simulation extrapolation:
+// each detailed window contributes its measured cycles directly, and the
+// fast-forwarded stretch that follows it is charged at the window's
+// cycles-per-instruction. The estimate is exact when the skipped stretch
+// behaves like its adjacent window — the sampling-error bound the audit
+// gate measures rather than assumes.
+type SampledEstimate struct {
+	DetailedCycles  uint64  // cycles actually simulated in windows
+	DetailedInsts   uint64  // instructions committed inside windows
+	SkippedInsts    uint64  // instructions fast-forwarded between windows
+	EstimatedCycles float64 // DetailedCycles + extrapolated skip cycles
+}
+
+// AddWindow folds one detailed window and its following skipped stretch
+// into the estimate. A window that committed nothing (possible only on a
+// degenerate zero-length trace tail) contributes no extrapolation.
+func (e *SampledEstimate) AddWindow(windowCycles, windowInsts, skippedInsts uint64) {
+	e.DetailedCycles += windowCycles
+	e.DetailedInsts += windowInsts
+	e.SkippedInsts += skippedInsts
+	e.EstimatedCycles += float64(windowCycles)
+	if windowInsts > 0 {
+		e.EstimatedCycles += float64(skippedInsts) * float64(windowCycles) / float64(windowInsts)
+	}
+}
+
+// CPI returns the estimated whole-run cycles per instruction.
+func (e *SampledEstimate) CPI() float64 {
+	return Ratio(e.EstimatedCycles, float64(e.DetailedInsts+e.SkippedInsts))
+}
+
+// DetailedFraction returns the fraction of instructions simulated in
+// detail — the sampling-cost knob (window/period).
+func (e *SampledEstimate) DetailedFraction() float64 {
+	return Ratio(float64(e.DetailedInsts), float64(e.DetailedInsts+e.SkippedInsts))
+}

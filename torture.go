@@ -97,9 +97,23 @@ type TortureReport struct {
 	Violations []*TortureOutcome `json:"violations,omitempty"`
 }
 
+// TorturePointsChecked generates torture points like TorturePoints but
+// rejects an empty failure-cycle range instead of silently widening it.
+// CLI-facing callers want this loud path (ppatorture wraps the error as a
+// flag error); harness code with known-good constants may keep the clamping
+// TorturePoints.
+func TorturePointsChecked(seed int64, n int, minCycle, maxCycle uint64) ([]TorturePoint, error) {
+	if maxCycle <= minCycle {
+		return nil, fmt.Errorf("ppa: torture failure-cycle range [%d, %d) is empty: maxCycle must exceed minCycle", minCycle, maxCycle)
+	}
+	return TorturePoints(seed, n, minCycle, maxCycle), nil
+}
+
 // TorturePoints deterministically generates n torture points from a seed,
 // with failure cycles uniform in [minCycle, maxCycle) and the fault kinds
-// cycled so every class gets even coverage.
+// cycled so every class gets even coverage. An empty cycle range is clamped
+// to the single cycle minCycle; use TorturePointsChecked where a silently
+// rewritten range would hide a configuration mistake.
 func TorturePoints(seed int64, n int, minCycle, maxCycle uint64) []TorturePoint {
 	if maxCycle <= minCycle {
 		maxCycle = minCycle + 1
@@ -521,7 +535,11 @@ func shrinkCandidates(p TorturePoint, minCycle uint64) []TorturePoint {
 		c.Depth = p.Depth - 1
 		add(c)
 	}
-	if p.Fault.Seed != 0 {
+	if p.Fault.Seed/2 != 0 {
+		// Seed 0 is the "unseeded" sentinel, so halving must never reach it:
+		// seeds 1 and -1 (and any seed whose half rounds to zero) would
+		// otherwise shrink onto a point that replays under a different fault
+		// stream than the one that failed, breaking shrink determinism.
 		c := p
 		c.Fault.Seed = p.Fault.Seed / 2
 		add(c)

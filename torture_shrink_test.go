@@ -1,0 +1,75 @@
+package ppa
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShrinkCandidatesPreserveSeededness walks the full shrink lattice from
+// seeded torture points and asserts no reachable candidate carries the
+// Seed==0 "unseeded" sentinel: halving seed 1 (or a negative seed rounding
+// toward zero, like -3 -> -1 -> 0) used to collapse onto 0, making the
+// shrunk point replay under a different fault stream than the failure being
+// minimized. Seeds 1, 2, and -3 cover the one-step, two-step, and negative
+// collapse paths.
+func TestShrinkCandidatesPreserveSeededness(t *testing.T) {
+	for _, seed := range []int64{1, 2, -3} {
+		start := TorturePoint{
+			Cycle: 500,
+			Fault: Fault{Kind: FaultBitFlip, Param: 8, Seed: seed},
+			Depth: 2,
+		}
+		seen := map[string]bool{}
+		frontier := []TorturePoint{start}
+		for len(frontier) > 0 {
+			p := frontier[0]
+			frontier = frontier[1:]
+			for _, c := range shrinkCandidates(p, 200) {
+				if p.Fault.Seed != 0 && c.Fault.Seed == 0 {
+					t.Fatalf("seed %d: shrink of %v produced unseeded candidate %v", seed, p, c)
+				}
+				key := c.String()
+				if !seen[key] {
+					seen[key] = true
+					frontier = append(frontier, c)
+				}
+			}
+		}
+		if len(seen) == 0 {
+			t.Fatalf("seed %d: shrink lattice from %v is empty", seed, start)
+		}
+	}
+}
+
+// TestShrinkCandidatesDeterministic: candidate generation must be a pure
+// function of the point, so a shrink session replays identically.
+func TestShrinkCandidatesDeterministic(t *testing.T) {
+	p := TorturePoint{Cycle: 4000, Fault: Fault{Kind: FaultBitFlip, Param: 100, Seed: -3}, Depth: 3}
+	a := shrinkCandidates(p, 200)
+	b := shrinkCandidates(p, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("shrink candidates differ across calls:\n%v\n%v", a, b)
+	}
+}
+
+// TestTorturePointsChecked: the checked generator must reject an empty
+// cycle range loudly while the clamping generator keeps its lenient
+// harness behavior.
+func TestTorturePointsChecked(t *testing.T) {
+	if _, err := TorturePointsChecked(1, 10, 100, 0); err == nil {
+		t.Fatal("empty range [100, 0) accepted")
+	}
+	if _, err := TorturePointsChecked(1, 10, 100, 100); err == nil {
+		t.Fatal("empty range [100, 100) accepted")
+	}
+	pts, err := TorturePointsChecked(1, 10, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("got %d points, want 10", len(pts))
+	}
+	if got := TorturePoints(1, 10, 100, 200); !reflect.DeepEqual(pts, got) {
+		t.Fatal("checked and clamping generators disagree on a valid range")
+	}
+}
