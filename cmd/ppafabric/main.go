@@ -12,7 +12,8 @@
 //	ppafabric work -coordinator http://host:7077 -workers 4
 //
 // The coordinator serves fleet-wide observability on its listen address
-// (/metrics, /snapshot.json, /trace, /v1/status) while the sweep runs.
+// (/metrics, /snapshot.json, /v1/status, /healthz, and the merged fleet
+// Chrome trace at /trace) while the sweep runs.
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 
 	"ppa"
 	"ppa/internal/fabric"
+	"ppa/internal/obs"
 )
 
 func main() {
@@ -83,6 +85,8 @@ func coordinate(args []string) error {
 	outPath := fs.String("out", "", "write the merged sweep report as JSON (byte-identical to ppatorture -out)")
 	metricsPath := fs.String("metrics", "", "write the merged fleet metrics snapshot as JSON Lines")
 	reproPath := fs.String("repro", "", "path for the shrunk reproducer JSON written on violation (default ppafabric-repro.json)")
+	tracePath := fs.String("trace", "", "write the merged fleet Chrome trace (one process lane per worker) after the sweep; the same timeline is live at /trace")
+	forensicsDir := fs.String("forensics", "", "persist forensic bundles shipped by workers into this directory (one .ppab file per captured violation)")
 	fs.Parse(args)
 
 	if *unit < 1 {
@@ -107,6 +111,7 @@ func coordinate(args []string) error {
 		Lease:        *lease,
 		Hub:          hub,
 		Log:          log.Default(),
+		ForensicsDir: *forensicsDir,
 	})
 	if err != nil {
 		return err
@@ -141,6 +146,27 @@ func coordinate(args []string) error {
 		if err := writeJSON(*outPath, rep); err != nil {
 			return err
 		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := coord.WriteFleetTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if d := coord.TraceDropped(); d > 0 {
+			log.Printf("fleet trace written to %s (%d events dropped by worker rings/caps)", *tracePath, d)
+		} else {
+			log.Printf("fleet trace written to %s", *tracePath)
+		}
+	}
+	if files := coord.BundleFiles(); len(files) > 0 {
+		log.Printf("%d forensic bundle(s) in %s (inspect with: ppareport forensics <file>)", len(files), *forensicsDir)
 	}
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
@@ -186,7 +212,8 @@ func work(args []string) error {
 	workers := fs.Int("workers", 1, "simulation parallelism within a leased unit (>= 1)")
 	dialTimeout := fs.Duration("dial-timeout", 10*time.Second, "budget for first contact before failing with a typed unreachable error")
 	poll := fs.Duration("poll", 0, "fallback delay between lease attempts when no unit is available (0 = coordinator's suggestion)")
-	serveAddr := fs.String("serve", "", "serve this worker's own observability over HTTP (endpoints /metrics, /snapshot.json, /trace)")
+	serveAddr := fs.String("serve", "", "serve this worker's own observability over HTTP (endpoints /metrics, /snapshot.json, /trace, /healthz)")
+	pprofFlag := fs.Bool("pprof", false, "with -serve: also mount net/http/pprof under /debug/pprof/ to profile this worker live")
 	fs.Parse(args)
 
 	if *coordinator == "" {
@@ -198,7 +225,8 @@ func work(args []string) error {
 
 	hub := ppa.NewObsHub(0)
 	if *serveAddr != "" {
-		srv, err := ppa.ServeObs(*serveAddr, hub)
+		obs.RegisterRuntimeMetrics(hub.Registry(), *name)
+		srv, err := obs.ServeWith(*serveAddr, hub, obs.ServeOptions{Pprof: *pprofFlag})
 		if err != nil {
 			return err
 		}

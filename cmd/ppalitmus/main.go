@@ -111,6 +111,7 @@ func cmdRun(args []string) error {
 	oracleFlag := fs.Bool("oracle", false, "additionally run every schedule under the differential lockstep oracle")
 	out := fs.String("out", "", "write the corpus report as JSON")
 	serveAddr := fs.String("serve", "", "serve live observability over HTTP (endpoints /metrics, /snapshot.json); litmus.* counters tick per test")
+	forensicsDir := fs.String("forensics", "", "capture a flight-recorder bundle (trace tail + metrics + NVM accept tail) into this directory for each test with forbidden outcomes; inspect with `ppareport forensics <file>`")
 	verbose := fs.Bool("v", false, "print every test's outcome table")
 	fs.Parse(args)
 
@@ -131,12 +132,17 @@ func cmdRun(args []string) error {
 		defer srv.Close()
 		log.Printf("serving observability on http://%s (/metrics /snapshot.json)", srv.Addr())
 	}
+	var recorder *ppa.ForensicsRecorder
+	if *forensicsDir != "" {
+		recorder = ppa.NewForensicsRecorder(*forensicsDir, 0)
+	}
 	opt := litmus.RunOptions{
 		Schedules: *iters,
 		Seed:      *seed,
 		MaxCycles: *maxCycles,
 		Lockstep:  *oracleFlag,
 		Obs:       hub,
+		Forensics: recorder,
 	}
 	log.Printf("running %d tests x %d schedules (seed %d, oracle %v)", len(tests), *iters, *seed, *oracleFlag)
 
@@ -151,6 +157,10 @@ func cmdRun(args []string) error {
 	log.Printf("%d tests, %d schedules: %d forbidden outcomes; coverage %d/%d allowed outcomes observed (%.0f%%)",
 		rep.TotalTests, rep.TotalSchedules, rep.TotalForbidden,
 		rep.ObservedTotal, rep.AllowedTotal, 100*rep.Coverage)
+	if files := recorder.Files(); len(files) > 0 {
+		log.Printf("%d forensic bundle(s) in %s (inspect with: ppareport forensics <file>)",
+			len(files), *forensicsDir)
+	}
 
 	if *out != "" {
 		if err := writeJSON(*out, rep); err != nil {

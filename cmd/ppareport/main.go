@@ -16,6 +16,12 @@
 // when a gated key regresses past the threshold:
 //
 //	ppareport diff -threshold-pct 50 BENCH_PR3.json bench-now.json
+//
+// The forensics subcommand renders a violation flight-recorder bundle
+// (written by ppatorture/ppalitmus -forensics, or collected by a ppafabric
+// coordinator) as a human-readable post-mortem:
+//
+//	ppareport forensics forensic-bundles/forensic-001-torture-violation.ppab
 package main
 
 import (
@@ -37,6 +43,9 @@ func main() {
 	log.SetPrefix("ppareport: ")
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		os.Exit(runDiff(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "forensics" {
+		os.Exit(runForensics(os.Args[2:]))
 	}
 	flag.Parse()
 

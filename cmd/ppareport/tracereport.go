@@ -63,11 +63,20 @@ func reportTrace(w io.Writer, path string) error {
 	var drains, drainedStores, wpqRejects, barriers int
 	var barrierCycles uint64
 	var lastCycle uint64
+	var traceDropped int64
 	for _, ev := range events {
 		if end := ev.Cycle + ev.Dur; end > lastCycle {
 			lastCycle = end
 		}
 		switch ev.Name {
+		case obs.TraceDroppedName:
+			// The writer embeds ring truncation as a counter sample; the
+			// largest sample is the final dropped total.
+			for _, arg := range ev.Args {
+				if arg.Key == "dropped" && arg.Val > traceDropped {
+					traceDropped = arg.Val
+				}
+			}
 		case "region":
 			if ev.Type == obs.EvEnd {
 				if open, ok := openSpans[ev.Core]; ok {
@@ -135,7 +144,12 @@ func reportTrace(w io.Writer, path string) error {
 	}
 
 	fmt.Fprintf(w, "# Trace report: %s\n\n", path)
-	fmt.Fprintf(w, "%d events, last cycle %d\n\n", len(events), lastCycle)
+	fmt.Fprintf(w, "%d events, last cycle %d\n", len(events), lastCycle)
+	if traceDropped > 0 {
+		fmt.Fprintf(w, "WARNING: trace is truncated — the ring dropped the oldest %d events;\n", traceDropped)
+		fmt.Fprintln(w, "every aggregate below undercounts the early part of the run.")
+	}
+	fmt.Fprintln(w)
 
 	if len(aggs) == 0 {
 		fmt.Fprintln(w, "No region events in trace (was the run traced with a region-forming scheme?).")

@@ -58,7 +58,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	traceSpans := flag.Bool("trace-spans", false, "with -trace: export region lifetimes as Begin/End span pairs so barrier slices nest inside them in Perfetto")
 	metricsPath := flag.String("metrics", "", "write the metrics registry snapshot as JSON Lines")
-	serveAddr := flag.String("serve", "", "serve live observability over HTTP at this address (endpoints /metrics, /snapshot.json, /trace); the process keeps serving after the run until interrupted")
+	serveAddr := flag.String("serve", "", "serve live observability over HTTP at this address (endpoints /metrics, /snapshot.json, /trace, /healthz); the process keeps serving after the run until interrupted")
+	pprofFlag := flag.Bool("pprof", false, "with -serve: also mount net/http/pprof under /debug/pprof/ for live CPU/heap profiling of the running simulation")
 	oracleFlag := flag.Bool("oracle", false, "run the differential lockstep oracle: cross-check every committed instruction against an ISA-level golden model and assert persist ordering; any divergence fails the run")
 	sampleFlag := flag.String("sample", "", "run in SMARTS-style sampled mode, e.g. 'window=50k,period=1M' (optional warm=N caps warm-up lines); cycles are extrapolated from the detailed windows")
 	sampleAuditDir := flag.String("sample-audit", "", "run each app/scheme both full and sampled (per -sample, default window=50k,period=1M) and write full.json, sampled.json, and report.json into this directory for ppareport diff -two-sided")
@@ -137,11 +138,16 @@ func main() {
 		}
 	}
 	if *serveAddr != "" {
-		srv, err := obs.Serve(*serveAddr, hub)
+		obs.RegisterRuntimeMetrics(hub.Registry(), "")
+		srv, err := obs.ServeWith(*serveAddr, hub, obs.ServeOptions{Pprof: *pprofFlag})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("serving observability on http://%s (/metrics /snapshot.json /trace)", srv.Addr())
+		endpoints := "/metrics /snapshot.json /trace /healthz"
+		if *pprofFlag {
+			endpoints += " /debug/pprof/"
+		}
+		log.Printf("serving observability on http://%s (%s)", srv.Addr(), endpoints)
 	}
 
 	if *sampleFlag != "" {
@@ -218,11 +224,18 @@ func writeTrace(f *os.File, hub *obs.Hub, spans bool) error {
 	if spans {
 		events = obs.ExpandRegionSpans(events)
 	}
+	if d := tr.Dropped(); d > 0 {
+		// Embed the truncation in the trace itself so downstream readers
+		// (ppareport -trace, Perfetto counters) see it without this log.
+		var last uint64
+		if n := len(events); n > 0 {
+			last = events[n-1].Cycle + events[n-1].Dur
+		}
+		events = append(events, obs.DroppedMarker(last, d))
+		log.Printf("trace ring overflowed: oldest %d of %d events dropped", d, tr.Total())
+	}
 	if err := obs.WriteChromeTrace(f, events); err != nil {
 		return err
-	}
-	if d := tr.Dropped(); d > 0 {
-		log.Printf("trace ring overflowed: oldest %d of %d events dropped", d, tr.Total())
 	}
 	return f.Close()
 }

@@ -27,6 +27,7 @@ import (
 	"ppa"
 	"ppa/internal/fabric"
 	"ppa/internal/fault"
+	"ppa/internal/mutation"
 	"ppa/internal/obs"
 	internalsweep "ppa/internal/sweep"
 )
@@ -54,6 +55,10 @@ func main() {
 	fabricAddr := flag.String("fabric", "", "distribute the sweep: serve it as a fabric coordinator on this address (ppafabric workers can join) while an in-process worker chews units")
 	fabricManifest := flag.String("fabric-manifest", "", "resumable completed-unit ledger for -fabric mode (restart over it to resume)")
 	fabricUnit := flag.Int("fabric-unit", fabric.DefaultUnitSize, "torture points per fabric work unit")
+	fabricTrace := flag.String("fabric-trace", "", "with -fabric: write the merged fleet Chrome trace to this file after the sweep")
+	forensicsDir := flag.String("forensics", "", "capture a violation flight-recorder bundle (trace tail + metrics + NVM accept tail + divergence report) into this directory on every violation; inspect with `ppareport forensics <file>`")
+	mutateFlag := flag.String("mutate", "", "enable one seeded simulator bug by name for the whole sweep (see internal/mutation; used to prove the harness and forensics pipeline have teeth)")
+	pprofFlag := flag.Bool("pprof", false, "with -serve: also mount net/http/pprof under /debug/pprof/ for live profiling of the sweep")
 	flag.Parse()
 
 	// Reject nonsense parallelism up front with a typed error instead of
@@ -75,14 +80,28 @@ func main() {
 		})
 	}
 
+	if *mutateFlag != "" {
+		m, err := mutation.Parse(*mutateFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mutation.Enable(m)
+		log.Printf("MUTATION ENABLED: %s (%s at %s) — violations are expected", m, m.Description(), m.Site())
+	}
+
 	hub := ppa.NewObsHub(0)
 	if *serveAddr != "" {
-		srv, err := ppa.ServeObs(*serveAddr, hub)
+		obs.RegisterRuntimeMetrics(hub.Registry(), "")
+		srv, err := obs.ServeWith(*serveAddr, hub, obs.ServeOptions{Pprof: *pprofFlag})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		log.Printf("serving observability on http://%s (/metrics /snapshot.json /trace)", srv.Addr())
+		log.Printf("serving observability on http://%s (/metrics /snapshot.json /trace /healthz)", srv.Addr())
+	}
+	var recorder *ppa.ForensicsRecorder
+	if *forensicsDir != "" {
+		recorder = ppa.NewForensicsRecorder(*forensicsDir, 0)
 	}
 	rc := ppa.RunConfig{
 		App:            *appFlag,
@@ -90,6 +109,7 @@ func main() {
 		InstsPerThread: *insts,
 		Obs:            hub,
 		Lockstep:       *oracleFlag,
+		Forensics:      recorder,
 	}
 
 	if *replayPath != "" {
@@ -131,11 +151,13 @@ func main() {
 	var rep *ppa.TortureReport
 	if *fabricAddr != "" {
 		rep, err = runFabric(fabricOptions{
-			listen:   *fabricAddr,
-			manifest: *fabricManifest,
-			unit:     *fabricUnit,
-			workers:  *workers,
-			hub:      hub,
+			listen:       *fabricAddr,
+			manifest:     *fabricManifest,
+			unit:         *fabricUnit,
+			workers:      *workers,
+			hub:          hub,
+			traceOut:     *fabricTrace,
+			forensicsDir: *forensicsDir,
 			spec: fabric.Spec{
 				App:      *appFlag,
 				Scheme:   *schemeFlag,
@@ -161,6 +183,10 @@ func main() {
 		rep.CompletedBeforeFailure, len(rep.Violations))
 	for kind, n := range rep.ByKind {
 		log.Printf("  %-16s %d points", kind, n)
+	}
+	if files := recorder.Files(); len(files) > 0 {
+		log.Printf("%d forensic bundle(s) in %s (inspect with: ppareport forensics <file>)",
+			len(files), *forensicsDir)
 	}
 
 	if *outPath != "" {
@@ -208,6 +234,10 @@ type fabricOptions struct {
 	workers  int
 	hub      *obs.Hub
 	spec     fabric.Spec
+	// traceOut, when non-empty, receives the merged fleet Chrome trace
+	// after the sweep; forensicsDir receives bundles workers ship back.
+	traceOut     string
+	forensicsDir string
 }
 
 // runFabric serves the sweep as a fabric coordinator on opt.listen and
@@ -223,6 +253,7 @@ func runFabric(opt fabricOptions) (*ppa.TortureReport, error) {
 		ManifestPath: opt.manifest,
 		Hub:          opt.hub,
 		Log:          log.Default(),
+		ForensicsDir: opt.forensicsDir,
 	})
 	if err != nil {
 		return nil, err
@@ -262,6 +293,24 @@ func runFabric(opt fabricOptions) (*ppa.TortureReport, error) {
 	// idle-polling when the last unit landed learn the sweep is done from
 	// their next lease attempt instead of hitting a dead socket.
 	time.Sleep(3 * fabric.DefaultRetry)
+	if opt.traceOut != "" {
+		f, err := os.Create(opt.traceOut)
+		if err != nil {
+			return nil, err
+		}
+		if err := coord.WriteFleetTrace(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		log.Printf("fleet trace written to %s (%d events dropped)", opt.traceOut, coord.TraceDropped())
+	}
+	if files := coord.BundleFiles(); len(files) > 0 {
+		log.Printf("%d forensic bundle(s) in %s (inspect with: ppareport forensics <file>)",
+			len(files), opt.forensicsDir)
+	}
 	return rep, nil
 }
 

@@ -7,10 +7,15 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"ppa"
+	"ppa/internal/forensics"
 	"ppa/internal/obs"
 )
 
@@ -43,6 +48,10 @@ type CoordinatorConfig struct {
 	Log *log.Logger
 	// Now overrides the clock (tests re-lease without sleeping).
 	Now func() time.Time
+	// ForensicsDir, when non-empty, is where forensic bundles shipped by
+	// workers on /v1/complete are persisted (one .ppab file per bundle,
+	// created on first arrival). Bundles are validated before writing.
+	ForensicsDir string
 }
 
 // unit lifecycle states.
@@ -61,6 +70,10 @@ type unitState struct {
 	worker   string
 	expiry   time.Time
 	outcomes []*ppa.TortureOutcome
+	// trace is the unit's span fragment and traceWorker the worker whose
+	// completion was accepted (fragments land in that worker's fleet lane).
+	trace       []obs.Event
+	traceWorker string
 }
 
 // Coordinator owns a distributed sweep: the unit table, the lease
@@ -75,6 +88,11 @@ type Coordinator struct {
 	log      *log.Logger
 	now      func() time.Time
 	manifest *Manifest
+	// start anchors /healthz uptime; traceEpoch (start as Unix micros) is
+	// the fleet trace's shared timebase, handed to workers on every lease.
+	start        time.Time
+	traceEpoch   int64
+	forensicsDir string
 
 	mu       sync.Mutex
 	units    []*unitState
@@ -85,6 +103,11 @@ type Coordinator struct {
 	pointsD  int
 	viol     int
 	doneCh   chan struct{}
+	// traceDropped sums workers' reported ring overwrites plus events the
+	// per-unit cap truncated; bundleFiles lists persisted forensic bundles.
+	traceDropped  uint64
+	bundleFiles   []string
+	bundleDropped int
 }
 
 // NewCoordinator validates the spec, decomposes it into units, and — when
@@ -103,16 +126,17 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		spec:     cfg.Spec,
-		specHash: cfg.Spec.Hash(),
-		points:   points,
-		leaseDur: cfg.Lease,
-		retry:    cfg.Retry,
-		hub:      cfg.Hub,
-		log:      cfg.Log,
-		now:      cfg.Now,
-		byID:     make(map[string]*unitState, len(units)),
-		doneCh:   make(chan struct{}),
+		spec:         cfg.Spec,
+		specHash:     cfg.Spec.Hash(),
+		points:       points,
+		leaseDur:     cfg.Lease,
+		retry:        cfg.Retry,
+		hub:          cfg.Hub,
+		log:          cfg.Log,
+		now:          cfg.Now,
+		forensicsDir: cfg.ForensicsDir,
+		byID:         make(map[string]*unitState, len(units)),
+		doneCh:       make(chan struct{}),
 	}
 	if c.leaseDur <= 0 {
 		c.leaseDur = DefaultLease
@@ -123,6 +147,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if c.now == nil {
 		c.now = time.Now
 	}
+	c.start = c.now()
+	c.traceEpoch = c.start.UnixMicro()
 	for _, u := range units {
 		st := &unitState{unit: u}
 		c.units = append(c.units, st)
@@ -254,7 +280,8 @@ func (c *Coordinator) lease(req *LeaseRequest) *LeaseResponse {
 		st.worker = req.Worker
 		st.expiry = c.now().Add(c.leaseDur)
 		u := st.unit
-		return &LeaseResponse{Unit: &u, Lease: st.lease, LeaseMS: c.leaseDur.Milliseconds()}
+		return &LeaseResponse{Unit: &u, Lease: st.lease, LeaseMS: c.leaseDur.Milliseconds(),
+			TraceEpochMicros: c.traceEpoch}
 	}
 	return &LeaseResponse{RetryMS: c.retry.Milliseconds()}
 }
@@ -300,6 +327,13 @@ func (c *Coordinator) complete(req *CompleteRequest) (*CompleteResponse, error) 
 		}
 	}
 	c.markDoneLocked(st, req.Outcomes)
+	// Keep the unit's span fragment for the fleet trace, capped and
+	// re-validated (the wire side may be hostile): events past the cap and
+	// malformed entries count as dropped, not as silently missing.
+	events := obs.ImportEvents(req.Trace, MaxTraceEventsPerUnit)
+	st.trace = events
+	st.traceWorker = req.Worker
+	c.traceDropped += req.TraceDropped + uint64(len(req.Trace)-len(events))
 	done, total := c.done, len(c.units)
 	allDone := done == total
 	c.mu.Unlock()
@@ -313,11 +347,108 @@ func (c *Coordinator) complete(req *CompleteRequest) (*CompleteResponse, error) 
 		}
 	}
 	c.hub.Registry().MergeWire(req.Metrics)
+	c.saveBundles(st.unit, req)
 	c.logf("unit %d/%d complete (worker %s, %d points)", done, total, req.Worker, len(req.Outcomes))
 	if allDone {
 		close(c.doneCh)
 	}
 	return &CompleteResponse{Accepted: true, Done: allDone}, nil
+}
+
+// saveBundles persists a completion's forensic bundles under the
+// coordinator's forensics directory, enforcing the per-unit count and size
+// caps and rejecting blobs that do not decode as bundles.
+func (c *Coordinator) saveBundles(u Unit, req *CompleteRequest) {
+	if c.forensicsDir == "" || len(req.Bundles) == 0 {
+		return
+	}
+	if err := os.MkdirAll(c.forensicsDir, 0o755); err != nil {
+		c.logf("forensics dir %s: %v", c.forensicsDir, err)
+		return
+	}
+	for bi, blob := range req.Bundles {
+		if bi >= MaxBundlesPerUnit || len(blob) > MaxBundleBytes {
+			c.mu.Lock()
+			c.bundleDropped++
+			c.mu.Unlock()
+			continue
+		}
+		b, err := forensics.Decode(blob)
+		if err != nil {
+			c.logf("unit %d bundle %d from %s: %v", u.Index, bi, req.Worker, err)
+			c.mu.Lock()
+			c.bundleDropped++
+			c.mu.Unlock()
+			continue
+		}
+		path := filepath.Join(c.forensicsDir, fmt.Sprintf("unit%04d-%d-%s.ppab", u.Index, bi, b.Meta.Kind))
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			c.logf("write %s: %v", path, err)
+			continue
+		}
+		c.mu.Lock()
+		c.bundleFiles = append(c.bundleFiles, path)
+		c.mu.Unlock()
+		c.logf("forensic bundle from worker %s (unit %d, %s): %s", req.Worker, u.Index, b.Meta.Kind, path)
+	}
+}
+
+// BundleFiles lists the forensic bundles persisted so far.
+func (c *Coordinator) BundleFiles() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.bundleFiles))
+	copy(out, c.bundleFiles)
+	return out
+}
+
+// TraceDropped reports how many span events the fleet trace is missing
+// (worker ring overwrites plus cap truncation).
+func (c *Coordinator) TraceDropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traceDropped
+}
+
+// WriteFleetTrace merges every completed unit's span fragment into one
+// Chrome trace: one process lane per worker (sorted by name, so lane pids
+// are stable), fragments within a lane in unit-index order. The output is a
+// pure function of the completed-unit table — byte-identical no matter the
+// order fragments arrived in — so CI can diff fleet traces across runs.
+func (c *Coordinator) WriteFleetTrace(w io.Writer) error {
+	c.mu.Lock()
+	byWorker := make(map[string][]obs.Event)
+	var lastTS uint64
+	for _, st := range c.units { // unit-index order
+		if st.status != unitDone || len(st.trace) == 0 {
+			continue
+		}
+		byWorker[st.traceWorker] = append(byWorker[st.traceWorker], st.trace...)
+		for _, ev := range st.trace {
+			if end := ev.Cycle + ev.Dur; end > lastTS {
+				lastTS = end
+			}
+		}
+	}
+	dropped := c.traceDropped
+	c.mu.Unlock()
+
+	names := make([]string, 0, len(byWorker))
+	for n := range byWorker {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lanes := make([]obs.ProcessLane, 0, len(names)+1)
+	// Pid 0 is the coordinator's own lane; it carries the dropped marker.
+	if dropped > 0 {
+		lanes = append(lanes, obs.ProcessLane{Pid: 0, Name: "coordinator",
+			Events: []obs.Event{obs.DroppedMarker(lastTS, dropped)}})
+	}
+	for i, n := range names {
+		lanes = append(lanes, obs.ProcessLane{Pid: 1 + i, Name: "worker:" + n,
+			TrackPrefix: "unit", Events: byWorker[n]})
+	}
+	return obs.WriteFleetChromeTrace(w, lanes)
 }
 
 // Done returns a channel closed when every unit is complete.
@@ -433,6 +564,23 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		c.writeJSON(w, resp)
+	})
+	// /trace here shadows the hub's single-process /trace: on a
+	// coordinator, the fleet-merged timeline is the trace you want.
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(obs.TraceDroppedHeader, strconv.FormatUint(c.TraceDropped(), 10))
+		_ = c.WriteFleetTrace(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s := c.Status()
+		c.writeJSON(w, map[string]any{
+			"status":    "ok",
+			"spec_hash": c.specHash,
+			"uptime_ms": c.now().Sub(c.start).Milliseconds(),
+			"units":     s.Units,
+			"done":      s.Done,
+		})
 	})
 	mux.Handle("/", c.hub.Handler())
 	return mux

@@ -32,6 +32,18 @@ const ProtocolVersion = 1
 // hostile or confused peer cannot balloon the coordinator's heap.
 const MaxBodyBytes = 32 << 20
 
+// Per-unit caps on the observability payloads riding /v1/complete. Workers
+// stay far below them; the coordinator enforces them so a hostile worker
+// cannot bloat the fleet trace or the forensics directory.
+const (
+	// MaxTraceEventsPerUnit bounds the span fragment a completion carries.
+	MaxTraceEventsPerUnit = 4096
+	// MaxBundlesPerUnit bounds forensic bundles per completion.
+	MaxBundlesPerUnit = 4
+	// MaxBundleBytes bounds one encoded forensic bundle.
+	MaxBundleBytes = 4 << 20
+)
+
 // SpecResponse answers GET /v1/spec.
 type SpecResponse struct {
 	Version  int    `json:"version"`
@@ -65,6 +77,11 @@ type LeaseResponse struct {
 	// RetryMS, when no unit was granted and the sweep is not done, is the
 	// suggested poll delay (units are all leased out right now).
 	RetryMS int64 `json:"retry_ms,omitempty"`
+	// TraceEpochMicros is the coordinator's trace epoch (Unix microseconds,
+	// fixed at coordinator start): the trace context every granted unit's
+	// spans are stamped against, so fragments from different hosts land on
+	// one fleet timeline.
+	TraceEpochMicros int64 `json:"trace_epoch_us,omitempty"`
 }
 
 // HeartbeatRequest extends a lease while a unit is still simulating.
@@ -89,6 +106,17 @@ type CompleteRequest struct {
 	Worker   string                `json:"worker"`
 	Outcomes []*ppa.TortureOutcome `json:"outcomes"`
 	Metrics  []obs.WireMetric      `json:"metrics,omitempty"`
+	// Trace is the unit's span fragment (lease→run→merge spans plus
+	// per-point instants), stamped in microseconds since the lease's
+	// TraceEpochMicros. The coordinator merges fragments into the fleet
+	// Chrome trace served at /trace.
+	Trace []obs.WireEvent `json:"trace,omitempty"`
+	// TraceDropped counts events the worker's per-unit ring overwrote
+	// before export (summed into the fleet trace's dropped marker).
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+	// Bundles carries encoded forensic bundles (internal/forensics) for
+	// violations captured while running the unit.
+	Bundles [][]byte `json:"bundles,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion.

@@ -50,6 +50,7 @@ func goldenMessages() map[string][]byte {
 		})),
 		"lease_response_grant": enc(EncodeLeaseResponse(&LeaseResponse{
 			Unit: &unit, Lease: "lease-3", LeaseMS: 30_000,
+			TraceEpochMicros: 1_700_000_000_000_000,
 		})),
 		"lease_response_retry": enc(EncodeLeaseResponse(&LeaseResponse{RetryMS: 500})),
 		"lease_response_done":  enc(EncodeLeaseResponse(&LeaseResponse{Done: true})),
@@ -66,6 +67,14 @@ func goldenMessages() map[string][]byte {
 					Buckets: []obs.WireBucket{{Index: 27, Count: 1}, {Index: 34, Count: 1}},
 				}},
 			},
+			Trace: []obs.WireEvent{
+				{TS: 100, Ph: "i", Track: 1, Name: "lease", Cat: "fabric",
+					Args: []obs.WireArg{{K: "unit", V: 1}}},
+				{TS: 120, Dur: 80_000, Ph: "X", Track: 1, Name: "run", Cat: "fabric",
+					Args: []obs.WireArg{{K: "points", V: 25}, {K: "violations", V: 1}}},
+			},
+			TraceDropped: 2,
+			Bundles:      [][]byte{{0x50, 0x50, 0x41, 0x42}},
 		})),
 	}
 }
@@ -117,7 +126,8 @@ func TestProtocolRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if grant.Unit == nil || grant.Unit.Range.Len() != 25 || grant.LeaseMS != 30_000 {
+	if grant.Unit == nil || grant.Unit.Range.Len() != 25 || grant.LeaseMS != 30_000 ||
+		grant.TraceEpochMicros != 1_700_000_000_000_000 {
 		t.Fatalf("lease grant mangled: %+v", grant)
 	}
 
@@ -127,6 +137,9 @@ func TestProtocolRoundTrip(t *testing.T) {
 	}
 	if len(cr.Outcomes) != 1 || !cr.Outcomes[0].Detected || len(cr.Metrics) != 2 {
 		t.Fatalf("complete request mangled: %+v", cr)
+	}
+	if len(cr.Trace) != 2 || cr.Trace[1].Dur != 80_000 || cr.TraceDropped != 2 || len(cr.Bundles) != 1 {
+		t.Fatalf("complete request observability payload mangled: %+v", cr)
 	}
 	reenc, err := EncodeCompleteRequest(cr)
 	if err != nil {

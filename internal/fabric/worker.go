@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ppa"
+	"ppa/internal/forensics"
 	"ppa/internal/obs"
 )
 
@@ -201,11 +202,58 @@ func (w *worker) runUnit(ctx context.Context, lease *LeaseResponse) (bool, error
 		}
 	}()
 
+	// Span clock: microseconds since the coordinator's trace epoch (carried
+	// on the lease), so every host's fragment lands on one fleet timeline.
+	epoch := lease.TraceEpochMicros
+	sinceEpoch := func() uint64 {
+		if us := time.Now().UnixMicro() - epoch; us > 0 {
+			return uint64(us)
+		}
+		return 0
+	}
+	spanDur := func(start uint64) uint64 {
+		if end := sinceEpoch(); end > start {
+			return end - start
+		}
+		return 0
+	}
+	// Spans live in their own ring (drops surface as the fleet trace's
+	// dropped marker) and mirror into the worker's local hub, so a locally
+	// served /trace shows this worker's fabric activity too.
+	spans := obs.NewTracer(MaxTraceEventsPerUnit)
+	span := func(ev obs.Event) {
+		ev.Core = u.Index
+		ev.Cat = "fabric"
+		spans.Emit(ev)
+		w.cfg.Hub.Tracer().Emit(ev)
+	}
+	span(obs.Event{Cycle: sinceEpoch(), Type: obs.EvInstant, Name: "lease",
+		Args: [obs.MaxEventArgs]obs.Arg{{Key: "unit", Val: int64(u.Index)}}})
+
 	unitHub := obs.NewHub(1024)
+	// Runtime health rides the unit registry as live gauges labelled with
+	// this worker's name; Export samples them at completion, so the fleet
+	// /metrics shows per-host heap/GC/goroutine gauges.
+	obs.RegisterRuntimeMetrics(unitHub.Registry(), w.cfg.Name)
 	rc := w.spec.RunConfig(unitHub)
+	rec := forensics.NewRecorder("", MaxBundlesPerUnit)
+	rc.Forensics = rec
 	pts := w.points[u.Range.Start:u.Range.End]
+	runStart := sinceEpoch()
 	var outs []*ppa.TortureOutcome
+	var viols int64
 	_, err := ppa.RunTortureParallel(unitCtx, rc, pts, w.cfg.Parallel, func(o *ppa.TortureOutcome) {
+		viol := int64(0)
+		if o.Violation != "" {
+			viol = 1
+			viols++
+		}
+		span(obs.Event{Cycle: sinceEpoch(), Type: obs.EvInstant, Name: "point",
+			Args: [obs.MaxEventArgs]obs.Arg{
+				{Key: "idx", Val: int64(u.Range.Start + len(outs))},
+				{Key: "cycle", Val: int64(o.Point.Cycle)},
+				{Key: "violation", Val: viol},
+			}})
 		outs = append(outs, o)
 	})
 	cancel()
@@ -217,13 +265,30 @@ func (w *worker) runUnit(ctx context.Context, lease *LeaseResponse) (bool, error
 		}
 		return false, err
 	}
+	span(obs.Event{Cycle: runStart, Dur: spanDur(runStart), Type: obs.EvComplete, Name: "run",
+		Args: [obs.MaxEventArgs]obs.Arg{
+			{Key: "points", Val: int64(len(outs))},
+			{Key: "violations", Val: viols},
+		}})
+
+	mergeStart := sinceEpoch()
+	var bundles [][]byte
+	for _, b := range rec.Bundles() {
+		bundles = append(bundles, b.Encode())
+	}
+	metrics := unitHub.Registry().Export()
+	span(obs.Event{Cycle: mergeStart, Dur: spanDur(mergeStart), Type: obs.EvComplete, Name: "merge",
+		Args: [obs.MaxEventArgs]obs.Arg{{Key: "bundles", Val: int64(len(bundles))}}})
 
 	req := &CompleteRequest{
-		Lease:    lease.Lease,
-		UnitID:   u.ID,
-		Worker:   w.cfg.Name,
-		Outcomes: outs,
-		Metrics:  unitHub.Registry().Export(),
+		Lease:        lease.Lease,
+		UnitID:       u.ID,
+		Worker:       w.cfg.Name,
+		Outcomes:     outs,
+		Metrics:      metrics,
+		Trace:        obs.ExportEvents(spans.Events()),
+		TraceDropped: spans.Dropped(),
+		Bundles:      bundles,
 	}
 	resp, status, err := w.post(ctx, "/v1/complete", mustEncode(EncodeCompleteRequest(req)))
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"ppa/internal/forensics"
 	"ppa/internal/isa"
 	"ppa/internal/litmus/px86"
 	"ppa/internal/multicore"
@@ -28,6 +29,10 @@ type RunOptions struct {
 	Lockstep bool
 	// Obs, when non-nil, ticks live litmus.* metrics.
 	Obs *obs.Hub
+	// Forensics, when non-nil, captures a flight-recorder bundle (NVM
+	// accept tail, trace/metrics snapshot from Obs, the first forbidden
+	// outcome) for every schedule that produced a forbidden outcome.
+	Forensics *forensics.Recorder
 }
 
 func (o RunOptions) normalized() RunOptions {
@@ -120,6 +125,19 @@ func RunTest(t *Test, opt RunOptions) (*TestResult, error) {
 				res.Forbidden = append(res.Forbidden, f)
 			}
 		}
+		if opt.Forensics != nil && len(rec.forbidden) > 0 {
+			first := rec.forbidden[0]
+			b := &forensics.Bundle{Meta: forensics.Meta{
+				Kind:         forensics.KindLitmusForbidden,
+				Reason:       first.String(),
+				Test:         t.Name,
+				Schedule:     s,
+				Seed:         int64(opt.Seed),
+				CaptureCycle: first.Cycle,
+			}}
+			forensics.Snapshot(opt.Obs, rec.accTail, b)
+			_ = opt.Forensics.Capture(b)
+		}
 	}
 	for _, k := range res.Allowed {
 		if res.Observed[k] == 0 {
@@ -158,6 +176,9 @@ type recorder struct {
 	accepts   uint64
 	crashed   bool
 	tee       pipeline.CommitSink // the lockstep oracle, when attached
+	// accTail is the flight recorder's accept-stream ring (RunOptions.
+	// Forensics); nil when forensics is off.
+	accTail *forensics.AcceptTail
 }
 
 type valRef struct{ core, slot, pos int }
@@ -360,6 +381,10 @@ func runSchedule(c *Compiled, sched int, opt RunOptions) (*recorder, error) {
 	rec := newRecorder(c, sched)
 	rec.dev = sys.Device().Image()
 	sys.Device().AddAcceptObserver(rec.onAccept)
+	if opt.Forensics != nil {
+		rec.accTail = forensics.NewAcceptTail(forensics.DefaultAcceptTail)
+		sys.Device().AddAcceptObserver(rec.accTail.Observe)
+	}
 	for _, core := range sys.Cores() {
 		if opt.Lockstep {
 			rec.tee = sys.Oracle()

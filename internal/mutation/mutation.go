@@ -16,6 +16,11 @@
 // keeps every site on its correct branch.
 package mutation
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Mutation identifies one seeded bug.
 type Mutation int
 
@@ -121,6 +126,22 @@ func (m Mutation) String() string {
 		return ids[m]
 	}
 	return "unknown"
+}
+
+// Parse resolves a kebab-case identifier back to its Mutation ("none"
+// included), so CLIs can inject a seeded bug by name — the forensics CI
+// step does, to prove a violation produces a flight-recorder bundle.
+func Parse(name string) (Mutation, error) {
+	for m := None; m < numMutations; m++ {
+		if ids[m] == name {
+			return m, nil
+		}
+	}
+	known := make([]string, 0, numMutations)
+	for m := None; m < numMutations; m++ {
+		known = append(known, ids[m])
+	}
+	return None, fmt.Errorf("mutation: unknown mutation %q (known: %s)", name, strings.Join(known, ", "))
 }
 
 var sites = [...]string{

@@ -22,13 +22,15 @@ type chromeEvent struct {
 	Args map[string]int64 `json:"args,omitempty"`
 }
 
-func toChrome(ev Event) chromeEvent {
+func toChrome(ev Event) chromeEvent { return toChromePid(ev, 0) }
+
+func toChromePid(ev Event, pid int) chromeEvent {
 	ce := chromeEvent{
 		Name: ev.Name,
 		Cat:  ev.Cat,
 		Ph:   ev.Type.String(),
 		TS:   ev.Cycle,
-		Pid:  0,
+		Pid:  pid,
 		Tid:  ev.Core,
 	}
 	if ev.Type == EvComplete {
@@ -111,6 +113,32 @@ func fromChrome(ce chromeEventIn) (Event, bool) {
 // Timestamps are simulation cycles (displayed as microseconds by the
 // viewers). One line per event keeps the file diffable.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	return WriteFleetChromeTrace(w, []ProcessLane{{Pid: 0, Name: "ppa", Events: events}})
+}
+
+// ProcessLane is one process row of a fleet Chrome trace: a worker's (or
+// the coordinator's) events, rendered under its own pid so Perfetto shows
+// each fleet member as a separate process group with its own thread tracks.
+type ProcessLane struct {
+	// Pid is the lane's Chrome process id (distinct per lane).
+	Pid int
+	// Name labels the process row (worker name, host).
+	Name string
+	// TrackPrefix labels the lane's thread tracks ("core" when empty, so a
+	// single-lane trace names tracks exactly as WriteChromeTrace always
+	// has; fabric lanes use "unit" because their tracks are work units).
+	TrackPrefix string
+	// Events are the lane's events; Event.Core is the thread track within
+	// the lane.
+	Events []Event
+}
+
+// WriteFleetChromeTrace renders multiple process lanes as one Chrome
+// trace_event document — a whole distributed sweep as a single timeline.
+// Output is a pure function of the lane slice (lane order, then event order
+// within each lane), so callers that fix both get byte-identical documents
+// regardless of how fragments arrived.
+func WriteFleetChromeTrace(w io.Writer, lanes []ProcessLane) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
 		return err
@@ -125,29 +153,42 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		Args map[string]string `json:"args"`
 	}
 
-	// Name the process and the per-core tracks seen in the event stream.
-	cores := map[int]bool{}
-	for _, ev := range events {
-		cores[ev.Core] = true
+	nRecords := 0
+	for _, lane := range lanes {
+		nRecords += 1 + len(lane.Events)
 	}
-	coreIDs := make([]int, 0, len(cores))
-	for c := range cores {
-		coreIDs = append(coreIDs, c)
-	}
-	sort.Ints(coreIDs)
-	records := make([]any, 0, 1+len(coreIDs)+len(events))
-	records = append(records, metaEvent{Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
-		Args: map[string]string{"name": "ppa"}})
-	for _, c := range coreIDs {
-		name := fmt.Sprintf("core%d", c)
-		if c == SystemTrack {
-			name = "system"
+	records := make([]any, 0, nRecords)
+	// Name every lane's process and per-core tracks first, then emit the
+	// events lane by lane.
+	for _, lane := range lanes {
+		records = append(records, metaEvent{Name: "process_name", Ph: "M", Pid: lane.Pid, Tid: 0,
+			Args: map[string]string{"name": lane.Name}})
+		cores := map[int]bool{}
+		for _, ev := range lane.Events {
+			cores[ev.Core] = true
 		}
-		records = append(records, metaEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: c,
-			Args: map[string]string{"name": name}})
+		coreIDs := make([]int, 0, len(cores))
+		for c := range cores {
+			coreIDs = append(coreIDs, c)
+		}
+		sort.Ints(coreIDs)
+		prefix := lane.TrackPrefix
+		if prefix == "" {
+			prefix = "core"
+		}
+		for _, c := range coreIDs {
+			name := fmt.Sprintf("%s%d", prefix, c)
+			if c == SystemTrack {
+				name = "system"
+			}
+			records = append(records, metaEvent{Name: "thread_name", Ph: "M", Pid: lane.Pid, Tid: c,
+				Args: map[string]string{"name": name}})
+		}
 	}
-	for _, ev := range events {
-		records = append(records, toChrome(ev))
+	for _, lane := range lanes {
+		for _, ev := range lane.Events {
+			records = append(records, toChromePid(ev, lane.Pid))
+		}
 	}
 
 	for i, rec := range records {
@@ -246,6 +287,25 @@ func ExpandRegionSpans(events []Event) []Event {
 		return rank(out[i].Type) < rank(out[j].Type)
 	})
 	return out
+}
+
+// TraceDroppedName names the counter event DroppedMarker emits. Trace
+// writers append one when the ring overwrote events, and trace readers
+// (ppareport -trace) use it to flag a truncated window.
+const TraceDroppedName = "trace.dropped"
+
+// DroppedMarker builds the counter event that records how many events a
+// trace ring overwrote before export, stamped at the given cycle (usually
+// the last cycle in the exported window).
+func DroppedMarker(cycle, dropped uint64) Event {
+	return Event{
+		Cycle: cycle,
+		Type:  EvCounter,
+		Core:  SystemTrack,
+		Name:  TraceDroppedName,
+		Cat:   "obs",
+		Args:  [MaxEventArgs]Arg{{Key: "dropped", Val: int64(dropped)}},
+	}
 }
 
 // WriteEventsJSONL writes one trace_event JSON object per line (no

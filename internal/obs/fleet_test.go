@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func fleetSampleEvents() []Event {
+	return []Event{
+		{Cycle: 10, Type: EvInstant, Core: 0, Name: "lease", Cat: "fabric",
+			Args: [MaxEventArgs]Arg{{Key: "unit", Val: 0}}},
+		{Cycle: 20, Dur: 100, Type: EvComplete, Core: 0, Name: "run", Cat: "fabric"},
+		{Cycle: 130, Type: EvCounter, Core: SystemTrack, Name: "trace.dropped", Cat: "obs",
+			Args: [MaxEventArgs]Arg{{Key: "dropped", Val: 5}}},
+	}
+}
+
+// TestFleetTraceSingleLaneMatchesLegacy pins that WriteChromeTrace and a
+// one-lane WriteFleetChromeTrace are the same writer: the fleet path with
+// pid 0 and no prefix override must be byte-identical to the single-process
+// trace output the tooling has always produced.
+func TestFleetTraceSingleLaneMatchesLegacy(t *testing.T) {
+	events := fleetSampleEvents()
+	var single, fleet bytes.Buffer
+	if err := WriteChromeTrace(&single, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFleetChromeTrace(&fleet, []ProcessLane{{Pid: 0, Name: "ppa", Events: events}}); err != nil {
+		t.Fatal(err)
+	}
+	if single.String() != fleet.String() {
+		t.Fatalf("single-lane fleet trace diverged from WriteChromeTrace:\n%s\nvs\n%s",
+			fleet.String(), single.String())
+	}
+}
+
+// TestFleetTraceLanes checks the multi-lane rendering: each lane gets its
+// own pid, process_name, and track-prefix thread names.
+func TestFleetTraceLanes(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFleetChromeTrace(&buf, []ProcessLane{
+		{Pid: 1, Name: "worker:w1", TrackPrefix: "unit", Events: []Event{
+			{Cycle: 5, Type: EvInstant, Core: 2, Name: "lease", Cat: "fabric"}}},
+		{Pid: 2, Name: "worker:w2", TrackPrefix: "unit", Events: []Event{
+			{Cycle: 9, Type: EvInstant, Core: 7, Name: "lease", Cat: "fabric"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("fleet trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	threads := map[[2]float64]string{}
+	procs := map[float64]string{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["name"] {
+		case "process_name":
+			procs[ev["pid"].(float64)] = ev["args"].(map[string]any)["name"].(string)
+		case "thread_name":
+			threads[[2]float64{ev["pid"].(float64), ev["tid"].(float64)}] =
+				ev["args"].(map[string]any)["name"].(string)
+		}
+	}
+	if procs[1] != "worker:w1" || procs[2] != "worker:w2" {
+		t.Fatalf("process names = %v", procs)
+	}
+	if threads[[2]float64{1, 2}] != "unit2" || threads[[2]float64{2, 7}] != "unit7" {
+		t.Fatalf("thread names = %v, want unit2/unit7", threads)
+	}
+}
+
+// TestEventWireRoundTrip pins ExportEvents/ImportEvents as inverses on
+// well-formed events.
+func TestEventWireRoundTrip(t *testing.T) {
+	events := fleetSampleEvents()
+	back := ImportEvents(ExportEvents(events), 0)
+	if len(back) != len(events) {
+		t.Fatalf("round trip kept %d/%d events", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d mangled: %+v vs %+v", i, back[i], events[i])
+		}
+	}
+}
+
+// TestImportEventsHostile pins the decoder's hardening: unknown phases are
+// skipped, argument lists are capped at MaxEventArgs, and the max parameter
+// truncates.
+func TestImportEventsHostile(t *testing.T) {
+	ws := []WireEvent{
+		{TS: 1, Ph: "i", Track: 0, Name: "ok"},
+		{TS: 2, Ph: "Q", Track: 0, Name: "bad-phase"},
+		{TS: 3, Ph: "", Track: 0, Name: "empty-phase"},
+		{TS: 4, Ph: "X", Dur: 10, Track: 1, Name: "too-many-args", Args: []WireArg{
+			{K: "a", V: 1}, {K: "b", V: 2}, {K: "c", V: 3}, {K: "d", V: 4}, {K: "e", V: 5}, {K: "f", V: 6}}},
+		{TS: 5, Ph: "C", Track: SystemTrack, Name: "counter"},
+	}
+	got := ImportEvents(ws, 0)
+	if len(got) != 3 {
+		t.Fatalf("kept %d events, want 3 (two bad phases skipped): %+v", len(got), got)
+	}
+	if got[1].Args[MaxEventArgs-1].Key != "d" {
+		t.Fatalf("args not capped at %d: %+v", MaxEventArgs, got[1].Args)
+	}
+	if capped := ImportEvents(ws, 2); len(capped) != 2 {
+		t.Fatalf("max=2 kept %d events", len(capped))
+	}
+	if ImportEvents(nil, 0) != nil {
+		t.Fatal("nil import should stay nil")
+	}
+}
+
+// TestRegisterRuntimeMetrics checks the runtime gauges land in both live
+// snapshots and wire exports with plausible values and the host label.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r, "w1")
+	byName := map[string]float64{}
+	for _, w := range r.Export() {
+		if w.Kind != "gauge" {
+			continue
+		}
+		byName[w.Name] = w.Gauge
+	}
+	if v := byName["runtime.heap-bytes|host=w1"]; v <= 0 {
+		t.Fatalf("runtime.heap-bytes|host=w1 = %v, want > 0", v)
+	}
+	if v := byName["runtime.goroutines|host=w1"]; v < 1 {
+		t.Fatalf("runtime.goroutines|host=w1 = %v, want >= 1", v)
+	}
+	// Unlabelled registration must also work (single-process serving).
+	r2 := NewRegistry()
+	RegisterRuntimeMetrics(r2, "")
+	found := false
+	for _, s := range r2.SnapshotLive() {
+		if s.Name == "runtime.goroutines" && s.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("runtime.goroutines missing from live snapshot")
+	}
+}
+
+// TestServeHealthzAndPprof exercises the serving additions: /healthz, the
+// dropped-count header on /trace, and the pprof mount being an explicit
+// opt-in.
+func TestServeHealthzAndPprof(t *testing.T) {
+	hub := NewHub(4)
+	for i := 0; i < 6; i++ { // capacity 4: two drops
+		hub.Tracer().Emit(Event{Cycle: uint64(i), Type: EvInstant, Core: 0, Name: "e", Cat: "t"})
+	}
+
+	plain := httptest.NewServer(hub.Handler())
+	defer plain.Close()
+	profiled := httptest.NewServer(hub.HandlerWith(ServeOptions{Pprof: true}))
+	defer profiled.Close()
+
+	get := func(url string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.String(), resp.Header
+	}
+
+	status, body, _ := get(plain.URL + "/healthz")
+	if status != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz = %d %s", status, body)
+	}
+	var health struct {
+		TraceEvents  int    `json:"trace_events"`
+		TraceDropped uint64 `json:"trace_dropped"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.TraceEvents != 4 || health.TraceDropped != 2 {
+		t.Fatalf("healthz trace accounting = %+v, want 4 events / 2 dropped", health)
+	}
+
+	_, _, hdr := get(plain.URL + "/trace")
+	if got := hdr.Get(TraceDroppedHeader); got != "2" {
+		t.Fatalf("%s = %q, want 2", TraceDroppedHeader, got)
+	}
+
+	if status, _, _ := get(plain.URL + "/debug/pprof/"); status == 200 {
+		t.Fatal("pprof served without opt-in")
+	}
+	status, body, _ = get(profiled.URL + "/debug/pprof/")
+	if status != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d %s", status, body)
+	}
+}

@@ -228,6 +228,12 @@ const (
 	kindGauge
 	kindHistogram
 	kindGaugeFunc
+	// kindGaugeFuncLive is a gauge function whose fn is safe to call at any
+	// moment (runtime stats, ring-buffer counters) — unlike kindGaugeFunc,
+	// which reads unsynchronized simulator state and is only sampled when
+	// the system is quiescent. Live gauge funcs appear in SnapshotLive and
+	// Export, sampled at call time.
+	kindGaugeFuncLive
 )
 
 func (k metricKind) String() string {
@@ -238,7 +244,7 @@ func (k metricKind) String() string {
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
-	case kindGaugeFunc:
+	case kindGaugeFunc, kindGaugeFuncLive:
 		return "gauge"
 	default:
 		return "?"
@@ -389,6 +395,24 @@ func (r *Registry) BindGaugeFunc(name string, fn func() float64) {
 	r.metrics[name] = &metric{kind: kindGaugeFunc, fn: fn}
 }
 
+// BindLiveGaugeFunc registers (or rebinds) a gauge whose fn is safe to call
+// at any moment — Go runtime statistics, atomic ring counters — with no
+// quiescence requirement. Unlike BindGaugeFunc metrics, live gauge funcs
+// are included in SnapshotLive and in the wire Export (sampled at export
+// time), so they travel to a fleet coordinator as plain gauges.
+func (r *Registry) BindLiveGaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.kind == kindGaugeFuncLive {
+		m.fn = fn
+		return
+	}
+	r.metrics[name] = &metric{kind: kindGaugeFuncLive, fn: fn}
+}
+
 // Sample is one metric's exported state.
 type Sample struct {
 	Name  string  `json:"name"`
@@ -463,7 +487,7 @@ func (r *Registry) snapshot(gaugeFuncs bool) []Sample {
 			s.Value = float64(m.ctr.Value())
 		case kindGauge:
 			s.Value = m.gau.Value()
-		case kindGaugeFunc:
+		case kindGaugeFunc, kindGaugeFuncLive:
 			s.Value = m.fn()
 		case kindHistogram:
 			h := m.hist
@@ -552,12 +576,17 @@ type Hub struct {
 }
 
 // NewHub returns a hub with a fresh registry and a tracer of the given ring
-// capacity (DefaultTraceCapacity when <= 0).
+// capacity (DefaultTraceCapacity when <= 0). The registry carries a live
+// "trace.dropped" gauge over the tracer's overwrite count, so a truncated
+// trace ring is visible in every metrics view instead of failing silently.
 func NewHub(traceCapacity int) *Hub {
 	if traceCapacity <= 0 {
 		traceCapacity = DefaultTraceCapacity
 	}
-	return &Hub{Metrics: NewRegistry(), Trace: NewTracer(traceCapacity)}
+	h := &Hub{Metrics: NewRegistry(), Trace: NewTracer(traceCapacity)}
+	tr := h.Trace
+	h.Metrics.BindLiveGaugeFunc("trace.dropped", func() float64 { return float64(tr.Dropped()) })
+	return h
 }
 
 // Tracer returns the hub's tracer (nil for a nil hub).

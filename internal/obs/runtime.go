@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Go runtime health as live gauge funcs: heap size, GC activity, goroutine
+// count, and scheduling latency, read through the runtime/metrics package
+// (cheap, no stop-the-world). RegisterRuntimeMetrics binds them on a
+// registry so a worker's /metrics — and, because live gauge funcs travel in
+// Export, the fleet coordinator's merged /metrics — shows per-host runtime
+// health next to the simulator's own counters.
+
+// runtimeGaugeNames maps the exported metric name to the runtime/metrics
+// sample it reads. Scalar samples only; histograms get quantile readers.
+var runtimeGaugeNames = [...][2]string{
+	{"runtime.heap-bytes", "/memory/classes/heap/objects:bytes"},
+	{"runtime.gc-cycles", "/gc/cycles/total:gc-cycles"},
+	{"runtime.goroutines", "/sched/goroutines:goroutines"},
+}
+
+// RegisterRuntimeMetrics binds Go runtime health gauges on r. When host is
+// non-empty, names carry a `|host=<host>` label suffix (the registry's
+// label convention, see prometheus.go), so metrics merged from several
+// workers stay distinguishable per host. Safe to call more than once —
+// live gauge funcs rebind.
+func RegisterRuntimeMetrics(r *Registry, host string) {
+	if r == nil {
+		return
+	}
+	suffix := ""
+	if host != "" {
+		suffix = promLabelSep + "host=" + host
+	}
+	for _, nm := range runtimeGaugeNames {
+		r.BindLiveGaugeFunc(nm[0]+suffix, runtimeScalar(nm[1]))
+	}
+	r.BindLiveGaugeFunc("runtime.gc-pause-p99-ns"+suffix, runtimeHistQuantile("/gc/pauses:seconds", 0.99))
+	r.BindLiveGaugeFunc("runtime.sched-latency-p99-ns"+suffix, runtimeHistQuantile("/sched/latencies:seconds", 0.99))
+}
+
+// runtimeScalar returns a reader for one scalar runtime/metrics sample. The
+// sample slice is allocated per call so concurrent metric readers (two
+// /metrics requests racing) never share state.
+func runtimeScalar(name string) func() float64 {
+	return func() float64 {
+		s := []metrics.Sample{{Name: name}}
+		metrics.Read(s)
+		switch s[0].Value.Kind() {
+		case metrics.KindUint64:
+			return float64(s[0].Value.Uint64())
+		case metrics.KindFloat64:
+			return s[0].Value.Float64()
+		}
+		return 0
+	}
+}
+
+// runtimeHistQuantile returns a reader estimating the q-quantile of a
+// runtime/metrics float64 histogram, converted from seconds to nanoseconds
+// (every runtime histogram this file reads is a latency distribution).
+func runtimeHistQuantile(name string, q float64) func() float64 {
+	return func() float64 {
+		s := []metrics.Sample{{Name: name}}
+		metrics.Read(s)
+		if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+			return 0
+		}
+		h := s[0].Value.Float64Histogram()
+		if h == nil || len(h.Counts) == 0 {
+			return 0
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total == 0 {
+			return 0
+		}
+		rank := uint64(q * float64(total))
+		if rank < 1 {
+			rank = 1
+		}
+		idx := len(h.Counts) - 1
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			if cum >= rank {
+				idx = i
+				break
+			}
+		}
+		// Buckets[idx+1] is the bucket's upper bound; the last bucket's may
+		// be +Inf, in which case fall back to its lower bound.
+		up := h.Buckets[idx+1]
+		if math.IsInf(up, 0) || math.IsNaN(up) {
+			up = h.Buckets[idx]
+		}
+		return up * 1e9
+	}
+}

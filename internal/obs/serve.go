@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
@@ -14,15 +15,32 @@ import (
 //	GET /metrics        Prometheus text exposition
 //	GET /snapshot.json  JSON array of metric samples
 //	GET /trace          recent ring events, one trace_event JSON per line
+//	GET /healthz        200 + uptime/trace-stats JSON, for probes
+//	GET /debug/pprof/   live CPU/heap/goroutine profiles (ServeOptions.Pprof)
 //
 // The handlers read counters, gauges, and histograms through their own
 // atomic/mutex protection, so serving concurrently with a running simulator
 // is race-free. Gauge functions are the exception — they read live simulator
 // state without synchronization — so they are excluded unless the request
-// carries ?gauges=1, which is only safe once the run is quiescent.
+// carries ?gauges=1, which is only safe once the run is quiescent. (Live
+// gauge funcs — runtime stats, trace.dropped — are always included.)
 
 // defaultTraceWindow caps /trace responses unless ?n= asks otherwise.
 const defaultTraceWindow = 1000
+
+// TraceDroppedHeader is the /trace response header carrying the ring's
+// overwrite count, so consumers can tell a truncated window from a complete
+// trace.
+const TraceDroppedHeader = "X-PPA-Trace-Dropped"
+
+// ServeOptions selects optional exposition endpoints.
+type ServeOptions struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ for live profiling
+	// (`go tool pprof http://host:port/debug/pprof/profile`). Off by
+	// default: profiling endpoints on an otherwise passive metrics port
+	// should be an explicit choice.
+	Pprof bool
+}
 
 // Server is a Hub's HTTP exposition endpoint.
 type Server struct {
@@ -33,12 +51,16 @@ type Server struct {
 // Handler returns the hub's HTTP handler. A nil hub yields a handler that
 // answers 503 to everything — the obs-disabled fast path, so callers can
 // wire the route unconditionally without guarding on the hub.
-func (h *Hub) Handler() http.Handler {
+func (h *Hub) Handler() http.Handler { return h.HandlerWith(ServeOptions{}) }
+
+// HandlerWith is Handler with optional endpoints enabled.
+func (h *Hub) HandlerWith(opt ServeOptions) http.Handler {
 	if h == nil {
 		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 			http.Error(w, "observability disabled", http.StatusServiceUnavailable)
 		})
 	}
+	start := time.Now()
 	samples := func(r *http.Request) []Sample {
 		if r.URL.Query().Get("gauges") == "1" {
 			return h.Metrics.Snapshot()
@@ -64,14 +86,35 @@ func (h *Hub) Handler() http.Handler {
 			}
 		}
 		w.Header().Set("Content-Type", "application/jsonl")
+		w.Header().Set(TraceDroppedHeader, strconv.FormatUint(h.Tracer().Dropped(), 10))
 		_ = WriteEventsJSONL(w, h.Tracer().Recent(n))
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":        "ok",
+			"uptime_ms":     time.Since(start).Milliseconds(),
+			"trace_events":  h.Tracer().Len(),
+			"trace_dropped": h.Tracer().Dropped(),
+		})
+	})
+	if opt.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		_, _ = w.Write([]byte("ppa observability endpoints: /metrics /snapshot.json /trace\n"))
+		index := "ppa observability endpoints: /metrics /snapshot.json /trace /healthz"
+		if opt.Pprof {
+			index += " /debug/pprof/"
+		}
+		_, _ = w.Write([]byte(index + "\n"))
 	})
 	return mux
 }
@@ -80,11 +123,16 @@ func (h *Hub) Handler() http.Handler {
 // background goroutine and returns once the listener is bound, so /metrics
 // is reachable before the first simulated cycle.
 func Serve(addr string, hub *Hub) (*Server, error) {
+	return ServeWith(addr, hub, ServeOptions{})
+}
+
+// ServeWith is Serve with optional endpoints enabled.
+func ServeWith(addr string, hub *Hub, opt ServeOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: hub.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: hub.HandlerWith(opt), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

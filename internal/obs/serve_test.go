@@ -62,8 +62,10 @@ func TestServeEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &samples); err != nil {
 		t.Fatalf("/snapshot.json parse: %v", err)
 	}
-	if len(samples) != 2 {
-		t.Errorf("/snapshot.json samples = %d, want 2 (gauge func excluded)", len(samples))
+	// Counter + histogram + the hub's built-in trace.dropped live gauge;
+	// the quiescent-only gauge func stays excluded.
+	if len(samples) != 3 {
+		t.Errorf("/snapshot.json samples = %d, want 3 (gauge func excluded)", len(samples))
 	}
 
 	code, body = get(t, base+"/trace?n=3")

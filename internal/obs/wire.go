@@ -82,9 +82,10 @@ func (h *Histogram) mergeWire(w *WireHistogram) {
 	h.mu.Unlock()
 }
 
-// Export returns every metric's wire-format state, sorted by name. Gauge
-// functions are skipped: they sample live state in this process and cannot
-// travel.
+// Export returns every metric's wire-format state, sorted by name.
+// Quiescent-only gauge functions are skipped: they sample live simulator
+// state in this process and cannot travel. Live gauge funcs (runtime stats,
+// trace.dropped) are sampled at export time and travel as plain gauges.
 func (r *Registry) Export() []WireMetric {
 	if r == nil {
 		return nil
@@ -113,6 +114,8 @@ func (r *Registry) Export() []WireMetric {
 			w.Counter = m.ctr.Value()
 		case kindGauge:
 			w.Gauge = m.gau.Value()
+		case kindGaugeFuncLive:
+			w.Gauge = m.fn()
 		case kindHistogram:
 			w.Hist = m.hist.export()
 		}
@@ -141,4 +144,84 @@ func (r *Registry) MergeWire(ms []WireMetric) {
 			r.Histogram(m.Name).mergeWire(m.Hist)
 		}
 	}
+}
+
+// WireArg is one event annotation on the wire.
+type WireArg struct {
+	K string `json:"k"`
+	V int64  `json:"v"`
+}
+
+// WireEvent is one trace event's wire-format state, for shipping trace
+// fragments between processes (fabric workers attach their span events to
+// /v1/complete; forensic bundles embed a trace tail). The phase letter uses
+// the Chrome encoding (EventType.String); ImportEvents validates it.
+type WireEvent struct {
+	// TS is the event timestamp. Span fragments stamp wall-clock
+	// microseconds since the coordinator's trace epoch; simulator events
+	// stamp cycles.
+	TS uint64 `json:"ts"`
+	// Dur is the slice length ("X" events only).
+	Dur uint64 `json:"dur,omitempty"`
+	// Ph is the Chrome phase letter: "i", "B", "E", "X", or "C".
+	Ph string `json:"ph"`
+	// Track is the event's thread lane (Event.Core, or a unit index for
+	// fabric spans; SystemTrack for machine-wide events).
+	Track int       `json:"track"`
+	Name  string    `json:"name"`
+	Cat   string    `json:"cat,omitempty"`
+	Args  []WireArg `json:"args,omitempty"`
+}
+
+// wirePhases maps valid wire phase letters back to event types.
+var wirePhases = map[string]EventType{
+	"i": EvInstant, "B": EvBegin, "E": EvEnd, "X": EvComplete, "C": EvCounter,
+}
+
+// ExportEvents converts events to wire form.
+func ExportEvents(evs []Event) []WireEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]WireEvent, 0, len(evs))
+	for _, ev := range evs {
+		w := WireEvent{TS: ev.Cycle, Dur: ev.Dur, Ph: ev.Type.String(), Track: ev.Core, Name: ev.Name, Cat: ev.Cat}
+		for _, a := range ev.Args {
+			if a.Key != "" {
+				w.Args = append(w.Args, WireArg{K: a.Key, V: a.Val})
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ImportEvents converts wire events back to Events, dropping entries with
+// an unknown phase letter and truncating to max events (when max > 0).
+// Excess args beyond MaxEventArgs are dropped. The wire side may be a
+// hostile or merely newer build, so malformed entries are skipped rather
+// than trusted.
+func ImportEvents(ws []WireEvent, max int) []Event {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(ws))
+	for _, w := range ws {
+		if max > 0 && len(out) >= max {
+			break
+		}
+		typ, ok := wirePhases[w.Ph]
+		if !ok {
+			continue
+		}
+		ev := Event{Cycle: w.TS, Dur: w.Dur, Type: typ, Core: w.Track, Name: w.Name, Cat: w.Cat}
+		for i, a := range w.Args {
+			if i >= MaxEventArgs {
+				break
+			}
+			ev.Args[i] = Arg{Key: a.K, Val: a.V}
+		}
+		out = append(out, ev)
+	}
+	return out
 }

@@ -24,6 +24,7 @@ import (
 
 	"ppa/internal/cache"
 	"ppa/internal/checkpoint"
+	"ppa/internal/forensics"
 	"ppa/internal/multicore"
 	"ppa/internal/nvm"
 	"ppa/internal/obs"
@@ -106,6 +107,12 @@ type RunConfig struct {
 	// model and the NVM accept stream against PPA's persist-ordering
 	// invariants. A divergence surfaces as an *OracleError from the run.
 	Lockstep bool
+	// Forensics attaches the violation flight recorder: when a torture
+	// point violates the crash-consistency contract or the lockstep oracle
+	// diverges, a correlated evidence bundle (trace tail, metrics
+	// snapshot, NVM accept-stream tail, divergence report) is captured at
+	// the instant of the failure. Build one with NewForensicsRecorder.
+	Forensics *forensics.Recorder
 }
 
 // DefaultObs, when non-nil, is attached to every system NewSystem builds
@@ -151,6 +158,22 @@ func WriteMetricsJSONL(w io.Writer, hub *obs.Hub) error {
 // Close the returned server to release the listener.
 func ServeObs(addr string, hub *obs.Hub) (*obs.Server, error) {
 	return obs.Serve(addr, hub)
+}
+
+// ForensicsRecorder is the violation flight recorder for RunConfig.Forensics
+// (see internal/forensics): it keeps the first few violation bundles of a
+// run and optionally writes each to disk as it is captured.
+type ForensicsRecorder = forensics.Recorder
+
+// ForensicsBundle is one captured failure bundle.
+type ForensicsBundle = forensics.Bundle
+
+// NewForensicsRecorder builds a flight recorder keeping at most max bundles
+// (a small default when max <= 0). When dir is non-empty every kept bundle
+// is also written there as a CRC-framed .ppab artifact, renderable with
+// `ppareport forensics <file>`.
+func NewForensicsRecorder(dir string, max int) *ForensicsRecorder {
+	return forensics.NewRecorder(dir, max)
 }
 
 func (rc RunConfig) resolve() (workload.Profile, persist.Config, int, error) {

@@ -2,12 +2,14 @@ package ppa
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"ppa/internal/checkpoint"
 	"ppa/internal/fault"
+	"ppa/internal/forensics"
 	"ppa/internal/multicore"
 	"ppa/internal/obs"
 	"ppa/internal/oracle"
@@ -167,6 +169,33 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 	inj := fault.NewInjector(hub)
 	out := &TortureOutcome{Point: p}
 
+	// Flight recorder: tee the NVM accept stream into a bounded tail and, at
+	// the instant a violation fires, snapshot it together with the trace
+	// ring, the metrics registry, and the oracle's divergence report.
+	var ftail *forensics.AcceptTail
+	if rc.Forensics != nil {
+		ftail = forensics.NewAcceptTail(forensics.DefaultAcceptTail)
+		sys.Device().AddAcceptObserver(ftail.Observe)
+	}
+	capture := func(kind string, divergence json.RawMessage) {
+		if rc.Forensics == nil || out.Violation == "" {
+			return
+		}
+		b := &forensics.Bundle{
+			Meta: forensics.Meta{
+				Kind:         kind,
+				Reason:       out.Violation,
+				App:          rc.App,
+				Scheme:       string(rc.Scheme),
+				Point:        p.String(),
+				CaptureCycle: sys.Cycle(),
+			},
+			Divergence: divergence,
+		}
+		forensics.Snapshot(hub, ftail, b)
+		_ = rc.Forensics.Capture(b)
+	}
+
 	done, err := sys.RunUntil(p.Cycle)
 	if err != nil {
 		// A lockstep divergence is a verdict about the machine, not a
@@ -175,6 +204,8 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 		var de *oracle.DivergenceError
 		if errors.As(err, &de) {
 			out.Violation = err.Error()
+			div, _ := json.Marshal(de.Report)
+			capture(forensics.KindLockstepDivergence, div)
 			return out, nil
 		}
 		return nil, err
@@ -227,6 +258,7 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 		out.RecoveryAttempts++
 		if out.RecoveryAttempts > nestedLeft+4 {
 			out.Violation = "recovery did not converge"
+			capture(forensics.KindTortureViolation, nil)
 			return out, nil
 		}
 		var lerr error
@@ -283,6 +315,7 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 	if out.Detected {
 		inj.Detected(p.Fault, p.Cycle)
 	}
+	var recoveryDiv json.RawMessage
 	switch {
 	case out.Violation != "":
 		// Already established (non-convergence or untyped error).
@@ -310,11 +343,16 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 			}
 			if oerr := m.CheckRecovered(dev.Image(), committed); oerr != nil {
 				out.Violation = oerr.Error()
+				var de *oracle.DivergenceError
+				if errors.As(oerr, &de) {
+					recoveryDiv, _ = json.Marshal(de.Report)
+				}
 				break
 			}
 		}
 		dev.ClearCheckpoint()
 	}
+	capture(forensics.KindTortureViolation, recoveryDiv)
 	return out, nil
 }
 
