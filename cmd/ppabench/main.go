@@ -5,6 +5,7 @@
 //	ppabench -fig 8                # one figure (1, 5, 8..19)
 //	ppabench -table 4              # one table (1..6)
 //	ppabench -ablations            # the DESIGN.md ablation studies
+//	ppabench -zoo                  # full scheme-zoo slowdown comparison
 //	ppabench -all                  # everything
 //	ppabench -fig 8 -insts 100000  # higher resolution
 //	ppabench -benchjson BENCH_PR3.json  # machine-readable benchmark trajectory
@@ -36,6 +37,7 @@ func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate (1, 5, 8-19)")
 	table := flag.Int("table", 0, "table number to regenerate (1-6)")
 	ablations := flag.Bool("ablations", false, "run the ablation studies")
+	zoo := flag.Bool("zoo", false, "run the full persistence-scheme zoo comparison (one slowdown column per scheme)")
 	writeamp := flag.Bool("writeamp", false, "run the NVM write-amplification comparison")
 	all := flag.Bool("all", false, "regenerate everything")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every simulated run (open in chrome://tracing or Perfetto)")
@@ -79,6 +81,8 @@ func main() {
 		runTable(*table)
 	case *ablations:
 		runAblations()
+	case *zoo:
+		runZoo()
 	case *writeamp:
 		runWriteAmp()
 	default:
@@ -295,6 +299,17 @@ func runFig(n int) {
 	default:
 		log.Fatalf("unknown figure %d (1, 5, 8-19)", n)
 	}
+}
+
+// runZoo prints the scheme-zoo comparison: every persistence scheme behind
+// the PersistScheme interface as one slowdown column vs the memory-mode
+// baseline, across the full application set.
+func runZoo() {
+	header("Scheme zoo: slowdown vs memory-mode baseline, one column per scheme")
+	s, err := ppa.SchemeZoo(*insts)
+	check(err)
+	printSeries(s...)
+	exportCSV("zoo.csv", func(f *os.File) error { return ppa.WriteSeriesCSV(f, s...) })
 }
 
 func printCDFs(label string, series []ppa.CDFSeries) {

@@ -61,7 +61,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ppalitmus generate -count N -seed S [-cores 2..4] [-out file]
   ppalitmus run -corpus <file|dir|builtin> [-iters N] [-seed S] [-maxcycles N]
-                [-oracle] [-out report.json] [-serve addr] [-v]
+                [-scheme name] [-oracle] [-out report.json] [-serve addr] [-v]
   ppalitmus explain -corpus <file|dir|builtin> -test <name>`)
 }
 
@@ -109,6 +109,7 @@ func cmdRun(args []string) error {
 	seed := fs.Uint64("seed", 1, "perturbation seed")
 	maxCycles := fs.Uint64("maxcycles", 50_000, "cycle bound per schedule")
 	oracleFlag := fs.Bool("oracle", false, "additionally run every schedule under the differential lockstep oracle")
+	schemeFlag := fs.String("scheme", "ppa", "persistence scheme to run the corpus under (any name from the scheme zoo)")
 	out := fs.String("out", "", "write the corpus report as JSON")
 	serveAddr := fs.String("serve", "", "serve live observability over HTTP (endpoints /metrics, /snapshot.json); litmus.* counters tick per test")
 	forensicsDir := fs.String("forensics", "", "capture a flight-recorder bundle (trace tail + metrics + NVM accept tail) into this directory for each test with forbidden outcomes; inspect with `ppareport forensics <file>`")
@@ -136,15 +137,20 @@ func cmdRun(args []string) error {
 	if *forensicsDir != "" {
 		recorder = ppa.NewForensicsRecorder(*forensicsDir, 0)
 	}
+	schemeCfg, err := ppa.SchemeConfig(ppa.Scheme(*schemeFlag))
+	if err != nil {
+		return &fabric.FlagError{Flag: "scheme", Value: *schemeFlag, Reason: "unknown scheme"}
+	}
 	opt := litmus.RunOptions{
 		Schedules: *iters,
 		Seed:      *seed,
 		MaxCycles: *maxCycles,
 		Lockstep:  *oracleFlag,
+		Scheme:    &schemeCfg,
 		Obs:       hub,
 		Forensics: recorder,
 	}
-	log.Printf("running %d tests x %d schedules (seed %d, oracle %v)", len(tests), *iters, *seed, *oracleFlag)
+	log.Printf("running %d tests x %d schedules (seed %d, scheme %s, oracle %v)", len(tests), *iters, *seed, *schemeFlag, *oracleFlag)
 
 	rep, err := litmus.RunCorpus(tests, opt, func(res *litmus.TestResult) {
 		if *verbose || len(res.Forbidden) > 0 {

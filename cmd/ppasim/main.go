@@ -27,22 +27,18 @@ import (
 )
 
 func schemeByName(name string) (persist.Config, error) {
-	switch name {
-	case "baseline":
-		return persist.BaselineDefault(), nil
-	case "ppa":
-		return persist.PPADefault(), nil
-	case "replaycache":
-		return persist.ReplayCacheDefault(), nil
-	case "capri":
-		return persist.CapriDefault(), nil
-	case "eadr":
-		return persist.EADRDefault(), nil
-	case "dram-only", "dramonly":
-		return persist.DRAMOnlyDefault(), nil
-	default:
-		return persist.Config{}, fmt.Errorf("unknown scheme %q (baseline|ppa|replaycache|capri|eadr|dram-only)", name)
+	if name == "dramonly" {
+		name = "dram-only"
 	}
+	cfg, err := ppa.SchemeConfig(ppa.Scheme(name))
+	if err != nil {
+		names := make([]string, len(ppa.Schemes()))
+		for i, s := range ppa.Schemes() {
+			names[i] = string(s)
+		}
+		return persist.Config{}, fmt.Errorf("unknown scheme %q (%s)", name, strings.Join(names, "|"))
+	}
+	return cfg, nil
 }
 
 func main() {

@@ -136,6 +136,31 @@ func Fig01(insts int) (Series, error) {
 	return s[0], nil
 }
 
+// SchemeZoo runs every persistence scheme behind the PersistScheme
+// interface over the paper's applications and returns one slowdown column
+// per scheme, normalized to the memory-mode baseline. This is not a paper
+// figure: it is the comparison surface for schemes added to the zoo
+// (SB-gate and the log-based transaction schemes UndoLog, RedoTxn, HTPM)
+// next to the published ones, printed by `ppabench -zoo`.
+func SchemeZoo(insts int) ([]Series, error) {
+	schemes := []persist.Config{
+		persist.DRAMOnlyDefault(),
+		persist.ReplayCacheDefault(),
+		persist.CapriDefault(),
+		persist.EADRDefault(),
+		persist.PPADefault(),
+		persist.SBGateDefault(),
+		persist.UndoLogDefault(),
+		persist.RedoTxnDefault(),
+		persist.HTPMDefault(),
+	}
+	labels := []string{"DRAMOnly", "ReplayCache", "Capri", "eADR/BBB",
+		"PPA", "SBGate", "UndoLog", "RedoTxn", "HTPM"}
+	s, _, err := slowdownSeries(workload.Profiles(), persist.BaselineDefault(),
+		schemes, labels, insts, nil)
+	return s, err
+}
+
 // Fig08Result carries Figure 8's two series (PPA ~2%, Capri ~26%).
 type Fig08Result struct {
 	PPA   Series

@@ -9,6 +9,7 @@ import (
 	"ppa/internal/isa"
 	"ppa/internal/litmus/px86"
 	"ppa/internal/multicore"
+	"ppa/internal/nvm"
 	"ppa/internal/obs"
 	"ppa/internal/persist"
 	"ppa/internal/pipeline"
@@ -23,6 +24,17 @@ type RunOptions struct {
 	Seed uint64
 	// MaxCycles bounds each schedule's run and drain (default 50_000).
 	MaxCycles uint64
+	// Scheme, when non-nil, runs every schedule under this persistence
+	// scheme instead of the default PPA configuration. The harness adapts
+	// its observation point to the scheme's durability carrier: schemes
+	// whose image is fed by the NVM accept stream are checked there, while
+	// redo-logging schemes (whose accept path is silent) are checked on the
+	// durable log stream. Gated schemes may legally finish the trace with an
+	// open region whose stores are still volatile, so their full-drain check
+	// relaxes from the final-outcome set to the allowed set; their crash
+	// legs additionally recover through the scheme's own protocol and
+	// require the recovered image to be an allowed state.
+	Scheme *persist.Config
 	// Lockstep additionally runs every schedule under the differential
 	// oracle (slower; used when replaying regression corpora through the
 	// production persist checker).
@@ -226,6 +238,29 @@ func (r *recorder) observe() {
 	r.observed[key]++
 }
 
+// onLogWord consumes one durable log-carried data record. For redo-logging
+// schemes the log, not the accept stream, is the durability carrier: a
+// record is durable at append, in commit order, so the same per-location
+// chain and state-membership checks apply to the log fold. The image check
+// is skipped — the image legitimately trails the log until the background
+// applier catches up.
+func (r *recorder) onLogWord(cycle, addr, val uint64) {
+	slot, ok := r.addrIdx[addr]
+	if !ok {
+		r.fail("stray-accept", cycle, "",
+			fmt.Sprintf("logged word [%#x] <- %#x outside the test's address slots", addr, val))
+		return
+	}
+	r.accepts++
+	r.checkWord(cycle, slot, addr, val)
+	r.overlay[slot] = val
+	r.observe()
+	if key := px86.Key(r.overlay); !r.c.Model.MemberKey(key) {
+		r.fail("forbidden-state", cycle, key,
+			"durable log stream reached a state outside the model's allowed set")
+	}
+}
+
 // onAccept consumes one accepted line from the NVM device.
 func (r *recorder) onAccept(cycle, line uint64, words *isa.LineWords) {
 	touched := false
@@ -361,7 +396,19 @@ func runSchedule(c *Compiled, sched int, opt RunOptions) (*recorder, error) {
 		},
 		Threads: c.Progs,
 	}
-	cfg := multicore.DefaultConfig(n, persist.PPADefault())
+	sch := persist.PPADefault()
+	if opt.Scheme != nil {
+		sch = *opt.Scheme
+	}
+	scheme := persist.SchemeFor(sch)
+	// The durability carrier: redo-logging schemes with a silent accept path
+	// are observed on the durable log stream instead.
+	logCarried := sch.RedoLogStores && !sch.AsyncPersist
+	// Gated schemes may legally end the trace with an open region whose
+	// stores are still volatile (staged or gated in the store buffer), so
+	// the full-drain state is a legal intermediate, not a final outcome.
+	openTail := sch.GateStoreBuffer
+	cfg := multicore.DefaultConfig(n, sch)
 	// Short persist latencies keep 50-schedule sweeps fast while leaving
 	// a window the accept-timing jitter can actually reorder within.
 	cfg.Hierarchy.PersistTransit = 24
@@ -380,7 +427,16 @@ func runSchedule(c *Compiled, sched int, opt RunOptions) (*recorder, error) {
 	}
 	rec := newRecorder(c, sched)
 	rec.dev = sys.Device().Image()
-	sys.Device().AddAcceptObserver(rec.onAccept)
+	if logCarried {
+		sys.Device().AddLogObserver(func(core int, lr nvm.LogRecord) {
+			if lr.Marker {
+				return
+			}
+			rec.onLogWord(sys.Cycle(), lr.Addr, lr.Val)
+		})
+	} else {
+		sys.Device().AddAcceptObserver(rec.onAccept)
+	}
 	if opt.Forensics != nil {
 		rec.accTail = forensics.NewAcceptTail(forensics.DefaultAcceptTail)
 		sys.Device().AddAcceptObserver(rec.accTail.Observe)
@@ -394,6 +450,8 @@ func runSchedule(c *Compiled, sched int, opt RunOptions) (*recorder, error) {
 
 	// Every fourth schedule is a crash leg: run to a seeded cycle, pull
 	// power, and require the surviving NVM state allowed by the model.
+	// Transaction schemes additionally run their own recovery protocol and
+	// must land the recovered image on an allowed state.
 	if sched%4 == 3 {
 		rec.crashed = true
 		target := sys.Cycle() + 20 + mix(sseed, 0xC4A54)%400
@@ -405,6 +463,20 @@ func runSchedule(c *Compiled, sched int, opt RunOptions) (*recorder, error) {
 		key := px86.Key(rec.overlay)
 		if !c.Model.MemberKey(key) {
 			rec.fail("forbidden-state", sys.Cycle(), key, "crash image outside the model's allowed set")
+		}
+		if scheme.Contract() == persist.RecoverTxnBoundary {
+			if _, rerr := scheme.Recover(sys.Device(), n); rerr != nil {
+				rec.fail("recovery-error", sys.Cycle(), "", rerr.Error())
+				return rec, nil
+			}
+			state := make([]uint64, len(c.Addrs))
+			for slot, addr := range c.Addrs {
+				state[slot] = sys.Device().Image().ReadWord(addr)
+			}
+			if rkey := px86.Key(state); !c.Model.MemberKey(rkey) {
+				rec.fail("forbidden-recovered-state", sys.Cycle(), rkey,
+					"recovered NVM image outside the model's allowed set")
+			}
 		}
 		return rec, nil
 	}
@@ -425,6 +497,15 @@ func runSchedule(c *Compiled, sched int, opt RunOptions) (*recorder, error) {
 			fmt.Sprintf("%d NVM eviction writebacks in a litmus-sized footprint", wb))
 	}
 	key := px86.Key(rec.overlay)
+	if openTail && !logCarried {
+		// The open gated tail is legally volatile; the drained state need
+		// only be allowed, not all-stores-persisted.
+		if !c.Model.MemberKey(key) {
+			rec.fail("forbidden-state", sys.Cycle(), key,
+				"fully-drained NVM state is outside the model's allowed set")
+		}
+		return rec, nil
+	}
 	if !c.Model.FinalMemberKey(key) {
 		rec.fail("forbidden-final-state", sys.Cycle(), key,
 			"fully-drained NVM state is not a legal all-stores-persisted outcome")

@@ -171,7 +171,7 @@ func (s *SampledSystem) RunWindow() error {
 		return err
 	}
 	sys.hier.FlushAllDirty()
-	if cfg.Lockstep && cfg.Scheme.AsyncPersist && !cfg.Scheme.UseRedoPath {
+	if cfg.Lockstep && sys.scheme.ImageFromAcceptStream() {
 		if err := s.engine.CheckFinal(s.dev.Image()); err != nil {
 			return err
 		}
@@ -248,35 +248,11 @@ func RunSampled(cfg Config, w *workload.Workload, sc SampleConfig) (*SampledResu
 	return s.Result(), nil
 }
 
-// drainAll ticks the memory system and the redo paths (cores idle) until
-// the write buffers, eviction queue, WPQ, and redo buffers are all empty.
-// Unlike DrainPersists it advances the redo paths too, so a Capri window
-// cannot exit with undrained redo entries.
+// drainAll ticks the memory system and the scheme backends (cores idle)
+// until the write buffers, eviction queue, WPQ, and backend buffers are all
+// empty, so a Capri or log-scheme window cannot exit with undrained entries.
 func (s *System) drainAll(budget uint64) error {
-	deadline := s.cycle + budget
-	for {
-		pending := s.hier.PersistBacklog() > 0 || !s.dev.Drained(s.cycle)
-		for _, r := range s.redos {
-			for c := 0; c < len(s.cores); c++ {
-				if r.PendingOf(c) > 0 {
-					pending = true
-				}
-			}
-		}
-		if !pending {
-			return nil
-		}
-		if s.cycle >= deadline {
-			return fmt.Errorf("multicore: window persist backlog not drained within %d cycles", budget)
-		}
-		if err := s.hier.Tick(s.cycle); err != nil {
-			return err
-		}
-		for _, r := range s.redos {
-			r.Tick(s.cycle)
-		}
-		s.cycle++
-	}
+	return s.DrainPersists(budget)
 }
 
 func minInt(a, b int) int {

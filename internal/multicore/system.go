@@ -64,16 +64,19 @@ type Config struct {
 	stops  []int
 }
 
-// DefaultConfig returns the Table 2 machine for n cores under a scheme.
+// DefaultConfig returns the Table 2 machine for n cores under a scheme. The
+// memory system is configured from the scheme's own HierarchyTuning rather
+// than per-Kind switches here.
 func DefaultConfig(n int, scheme persist.Config) Config {
 	hp := cache.DefaultParams(n)
-	switch scheme.Kind {
-	case persist.DRAMOnly:
+	tun := persist.SchemeFor(scheme).Tuning()
+	switch tun.Mode {
+	case persist.MemDRAMOnly:
 		hp.Mode = cache.DRAMOnly
-	case persist.EADR:
+	case persist.MemAppDirect:
 		hp.Mode = cache.AppDirect
 	}
-	if scheme.ClwbPerStore {
+	if tun.SlowPersistAck {
 		// ReplayCache's clwb pushes each store's line down the whole
 		// hierarchy (L1 -> L2 -> DRAM cache -> memory controller) rather
 		// than using PPA's direct non-temporal writeback path: the persist
@@ -94,12 +97,15 @@ func DefaultConfig(n int, scheme persist.Config) Config {
 
 // System is one simulated machine bound to a workload.
 type System struct {
-	cfg   Config
-	w     *workload.Workload
-	dev   *nvm.Device
-	hier  *cache.Hierarchy
-	cores []*pipeline.Core
-	redos []*persist.RedoPath
+	cfg    Config
+	w      *workload.Workload
+	dev    *nvm.Device
+	hier   *cache.Hierarchy
+	cores  []*pipeline.Core
+	scheme persist.Scheme
+	// backends holds the scheme's dedicated persist machinery (redo path,
+	// log path) when it has any; the machine ticks and power-fails it.
+	backends []persist.Backend
 
 	cycle     uint64
 	lastFlush int
@@ -155,7 +161,7 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 		cfg.Pipeline.Obs = cfg.Obs
 	}
 
-	s := &System{cfg: cfg, w: w, dev: dev, hier: hier}
+	s := &System{cfg: cfg, w: w, dev: dev, hier: hier, scheme: persist.SchemeFor(cfg.Scheme)}
 	if cfg.Lockstep {
 		if cfg.engine != nil {
 			s.oracle = cfg.engine
@@ -163,12 +169,17 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 			s.oracle = oracle.New(w.Threads, startAt)
 		}
 		dev.SetAcceptObserver(s.oracle.ObserveAccept)
+		if cfg.Scheme.UndoLogStores || cfg.Scheme.RedoLogStores {
+			undo := cfg.Scheme.UndoLogStores
+			orc := s.oracle
+			dev.AddLogObserver(func(core int, rec nvm.LogRecord) {
+				orc.ObserveLogAppend(core, rec, undo)
+			})
+		}
 	}
-	var redo *persist.RedoPath
-	if cfg.Scheme.UseRedoPath {
-		redo = persist.NewRedoPath(len(w.Threads), cfg.Scheme.RedoBufBytes,
-			cfg.Scheme.RedoDrainCycles, dev)
-		s.redos = append(s.redos, redo)
+	backend := s.scheme.NewBackend(len(w.Threads), dev)
+	if backend != nil {
+		s.backends = append(s.backends, backend)
 	}
 	for i, prog := range w.Threads {
 		pcfg := cfg.Pipeline
@@ -185,7 +196,7 @@ func newSystem(cfg Config, w *workload.Workload, dev *nvm.Device, startAt []int)
 		if cfg.stops != nil {
 			pcfg.StopAt = cfg.stops[i]
 		}
-		core, err := pipeline.New(pcfg, prog, hier, redo)
+		core, err := pipeline.New(pcfg, prog, hier, backend)
 		if err != nil {
 			return nil, err
 		}
@@ -231,14 +242,17 @@ func (s *System) Done() bool { return s.allDone }
 // Oracle returns the lockstep checker, or nil when Config.Lockstep is off.
 func (s *System) Oracle() *oracle.Machine { return s.oracle }
 
+// Scheme returns the machine's persistence scheme.
+func (s *System) Scheme() persist.Scheme { return s.scheme }
+
 // step advances the machine one cycle. A typed memory-system error (state
 // corruption, e.g. an unaligned word reaching the WPQ) aborts the cycle.
 func (s *System) step() error {
 	if err := s.hier.Tick(s.cycle); err != nil {
 		return err
 	}
-	for _, r := range s.redos {
-		r.Tick(s.cycle)
+	for _, b := range s.backends {
+		b.Tick(s.cycle)
 	}
 	done := true
 	if s.stepOrder != nil {
@@ -289,9 +303,9 @@ func (r *stepRng) next() uint64 {
 
 // checkOracleFinal runs the end-of-run durable-image cross-check for
 // schemes whose only image-write path is the observed WPQ accept stream
-// (asynchronous persistence without a redo path).
+// (asynchronous persistence without a redo or log-replay path).
 func (s *System) checkOracleFinal() error {
-	if s.oracle == nil || !s.cfg.Scheme.AsyncPersist || s.cfg.Scheme.UseRedoPath {
+	if s.oracle == nil || !s.scheme.ImageFromAcceptStream() {
 		return nil
 	}
 	return s.oracle.CheckFinal(s.dev.Image())
@@ -328,14 +342,28 @@ func (s *System) RunUntil(cycle uint64) (bool, error) {
 	return s.Done(), nil
 }
 
-// DrainPersists keeps ticking the memory system (cores idle) until every
-// write-buffer entry and pending eviction has been accepted by the NVM
-// device and the device itself reports drained — the fully-persisted
-// machine state the litmus engine's final-outcome check inspects. budget
-// bounds the extra cycles; exceeding it reports a stuck persist path.
+// DrainPersists keeps ticking the memory system and the scheme backends
+// (cores idle) until every write-buffer entry and pending eviction has been
+// accepted by the NVM device, the device itself reports drained, and the
+// backends (Capri's redo path, the transaction schemes' log path with its
+// lazy image applications) have no outstanding records — the
+// fully-persisted machine state the litmus engine's final-outcome check
+// inspects. budget bounds the extra cycles; exceeding it reports a stuck
+// persist path.
 func (s *System) DrainPersists(budget uint64) error {
 	deadline := s.cycle + budget
-	for s.hier.PersistBacklog() > 0 || !s.dev.Drained(s.cycle) {
+	for {
+		pending := s.hier.PersistBacklog() > 0 || !s.dev.Drained(s.cycle)
+		for _, b := range s.backends {
+			for c := 0; c < len(s.cores); c++ {
+				if b.PendingOf(c) > 0 {
+					pending = true
+				}
+			}
+		}
+		if !pending {
+			return nil
+		}
 		if s.cycle >= deadline {
 			return fmt.Errorf("multicore: persist backlog of %d entries not drained within %d cycles",
 				s.hier.PersistBacklog(), budget)
@@ -343,9 +371,11 @@ func (s *System) DrainPersists(budget uint64) error {
 		if err := s.hier.Tick(s.cycle); err != nil {
 			return err
 		}
+		for _, b := range s.backends {
+			b.Tick(s.cycle)
+		}
 		s.cycle++
 	}
-	return nil
 }
 
 func (s *System) committedInsts() int {
@@ -411,7 +441,7 @@ func (s *System) CrashWithOptions(opt CrashOptions) *CrashReport {
 		Args:  [obs.MaxEventArgs]obs.Arg{{Key: "dirty-words", Val: int64(s.hier.DirtyWordCount())}},
 	})
 	s.lastFlush = 0
-	if s.cfg.Scheme.Kind == persist.EADR {
+	if s.scheme.FlushOnFailure() {
 		s.lastFlush = s.hier.FlushAllDirty()
 		tr.Emit(obs.Event{
 			Cycle: s.cycle,
@@ -486,8 +516,8 @@ func (s *System) CrashWithOptions(opt CrashOptions) *CrashReport {
 	}
 	rep.CheckpointBytes = len(blob)
 	s.dev.WriteCheckpoint(blob)
-	for _, r := range s.redos {
-		r.PowerFail()
+	for _, b := range s.backends {
+		b.PowerFail()
 	}
 	s.hier.PowerFail()
 	if s.oracle != nil {

@@ -75,6 +75,14 @@ const (
 	// model's barrier axiom applied at the machine's own completion
 	// signal — catches it.
 	PipelineBarrierSnapshotCrossCore
+	// LogReplaySkipsLast stops the redo-log recovery replay one data record
+	// short of the region-commit marker, silently dropping the newest
+	// logged store of the last committed transaction.
+	LogReplaySkipsLast
+	// UndoAppliedAfterCommit makes the undo-log rollback scan run one
+	// record past the commit marker, reverting a pre-image the marker had
+	// already committed.
+	UndoAppliedAfterCommit
 	numMutations
 )
 
@@ -118,6 +126,8 @@ var ids = [...]string{
 	NVMCoalesceSkipImage:             "nvm-coalesce-skip-image",
 	CacheCoalesceStaleWord:           "cache-coalesce-stale-word",
 	PipelineBarrierSnapshotCrossCore: "pipeline-barrier-snapshot-cross-core",
+	LogReplaySkipsLast:               "log-replay-skips-last-entry",
+	UndoAppliedAfterCommit:           "undo-applied-after-commit",
 }
 
 // String returns the mutation's stable kebab-case identifier.
@@ -158,6 +168,8 @@ var sites = [...]string{
 	NVMCoalesceSkipImage:             "internal/nvm/nvm.go:TryAccept",
 	CacheCoalesceStaleWord:           "internal/cache/hierarchy.go:writeBuffer.add",
 	PipelineBarrierSnapshotCrossCore: "internal/pipeline/pipeline.go:tryEndRegion",
+	LogReplaySkipsLast:               "internal/persist/logpath.go:RecoverLog",
+	UndoAppliedAfterCommit:           "internal/persist/logpath.go:RecoverLog",
 }
 
 // Site names the source location of the seeded bug.
@@ -182,6 +194,8 @@ var descriptions = [...]string{
 	NVMCoalesceSkipImage:             "WPQ coalescing skips the durable image update",
 	CacheCoalesceStaleWord:           "multicore write-buffer coalescing keeps the stale word",
 	PipelineBarrierSnapshotCrossCore: "barrier snapshots the next core's persist counter",
+	LogReplaySkipsLast:               "redo-log replay stops one record short of the commit marker",
+	UndoAppliedAfterCommit:           "undo rollback reverts a committed pre-marker record",
 }
 
 // Description is a one-line human summary of the bug.

@@ -209,6 +209,13 @@ type Device struct {
 	// durable but separate from the memory image.
 	checkpoint []byte
 
+	// plog is the designated per-core persist-log storage area (undo/redo
+	// transaction logs): durable like the checkpoint area, separate from
+	// the image, surviving PowerFail. logObs observes every append — the
+	// oracle's log-stream checker attaches here. See log.go.
+	plog   [][]LogRecord
+	logObs []func(core int, rec LogRecord)
+
 	// mediaWrites counts actual media programs per line (endurance/wear
 	// accounting; persist coalescing exists to keep this down). With wear
 	// leveling on, the key is the start-gap-translated physical slot.

@@ -99,6 +99,11 @@ type Machine struct {
 	cores   []*coreModel
 	persist *persistChecker
 
+	// logPend folds each core's open-region redo log records (addr -> last
+	// written value) for the marker-time region check; nil until the first
+	// redo record arrives (see log.go).
+	logPend []map[uint64]uint64
+
 	commits uint64
 	div     *Divergence
 }
@@ -197,6 +202,11 @@ func (m *Machine) ObserveAccept(cycle, line uint64, words *isa.LineWords) {
 // the committed-prefix reference CheckRecovered compares against.
 func (m *Machine) ObserveCrash() {
 	m.persist.reset()
+	// The open region's redo records die with the crash: recovery discards
+	// everything after the last marker, so their pending fold is moot.
+	for i := range m.logPend {
+		m.logPend[i] = nil
+	}
 }
 
 // checkCommit is the lockstep core: recompute the instruction's

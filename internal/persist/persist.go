@@ -39,6 +39,20 @@ const (
 	// in the store buffer (not merged into L1D) until the region persists.
 	// Implemented to quantify the paper's argument against it.
 	SBGate
+	// UndoLog is an undo-logging transaction scheme (ROADMAP item 3,
+	// Marathe et al.): each committed store writes its pre-image to a
+	// durable per-core log before persisting in place; a crash rolls the
+	// image back to the last region-commit marker.
+	UndoLog
+	// RedoTxn is a Marathe-style redo-logging transaction scheme: stores
+	// gate in the store buffer, their new values append to the durable log,
+	// and the log replays into the NVM image lazily after the region's
+	// commit marker — commit is cheap, replay is background work.
+	RedoTxn
+	// HTPM is Giles-style hardware-transactional persistent memory: stores
+	// buffer in a volatile hardware transaction log that flushes to the
+	// durable back-end log at transaction commit, before the data burst.
+	HTPM
 )
 
 func (k Kind) String() string {
@@ -57,6 +71,12 @@ func (k Kind) String() string {
 		return "dram-only"
 	case SBGate:
 		return "sb-gate"
+	case UndoLog:
+		return "undolog"
+	case RedoTxn:
+		return "redotxn"
+	case HTPM:
+		return "htpm"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -136,6 +156,28 @@ type Config struct {
 	// 8-byte redo entry, encoding its bandwidth (4 GB/s at 2 GHz = 4).
 	RedoDrainCycles int
 
+	// UndoLogStores writes each committed store's pre-image to the durable
+	// per-core persist log before the in-place persist (UndoLog). Requires
+	// the async persist path for the in-place updates and commit-side
+	// (fixed/sync) boundaries so the region-commit marker is exact.
+	UndoLogStores bool
+	// RedoLogStores appends each committed store's new value to the durable
+	// per-core persist log; the image learns the values from log replay
+	// authorized at the region-commit marker (RedoTxn, HTPM). Requires
+	// store-buffer gating: uncommitted transaction data must never reach
+	// the caches or the image.
+	RedoLogStores bool
+	// LogFlushAtBoundary stages log records in a volatile hardware
+	// transaction buffer and flushes them to the durable log only at the
+	// region boundary (HTPM's back-end log flush on transaction commit).
+	LogFlushAtBoundary bool
+	// LogBufBytes is the per-core persist-log buffer capacity bounding
+	// outstanding (unreplayed or unflushed) records.
+	LogBufBytes int
+	// LogDrainCycles is the shared log path's drain time for one 8-byte
+	// record, encoding its bandwidth.
+	LogDrainCycles int
+
 	// SyncIsBoundary makes synchronization primitives region boundaries
 	// (Section 6; always true for PPA).
 	SyncIsBoundary bool
@@ -206,11 +248,67 @@ func SBGateDefault() Config {
 // DRAMOnlyDefault returns the volatile DRAM system configuration.
 func DRAMOnlyDefault() Config { return Config{Kind: DRAMOnly, Barrier: BarrierNone} }
 
+// UndoLogDefault returns the undo-logging transaction configuration:
+// fixed ~64-instruction regions, in-place async persistence, and a 32 KB
+// per-core write-ahead undo log draining at 8 bytes per 2 cycles.
+func UndoLogDefault() Config {
+	return Config{
+		Kind:           UndoLog,
+		Barrier:        BarrierRelaxed,
+		FixedRegionLen: 64,
+		AsyncPersist:   true,
+		UndoLogStores:  true,
+		LogBufBytes:    32 << 10,
+		LogDrainCycles: 2,
+		SyncIsBoundary: true,
+	}
+}
+
+// RedoTxnDefault returns the redo-logging transaction configuration:
+// fixed ~48-instruction regions whose stores gate in the store buffer,
+// append to a 32 KB per-core durable redo log at commit, and replay into
+// the image lazily after the region's commit marker.
+func RedoTxnDefault() Config {
+	return Config{
+		Kind:            RedoTxn,
+		Barrier:         BarrierRelaxed,
+		FixedRegionLen:  48,
+		CSQEntries:      64,
+		ValueCSQ:        true,
+		GateStoreBuffer: true,
+		RedoLogStores:   true,
+		LogBufBytes:     32 << 10,
+		LogDrainCycles:  8,
+		SyncIsBoundary:  true,
+	}
+}
+
+// HTPMDefault returns the hardware-transactional persistence
+// configuration: stores buffer in a volatile hardware transaction log that
+// flushes to the durable back-end log at region commit, ahead of the data
+// burst through the async persist path.
+func HTPMDefault() Config {
+	return Config{
+		Kind:               HTPM,
+		Barrier:            BarrierRelaxed,
+		FixedRegionLen:     64,
+		CSQEntries:         80,
+		ValueCSQ:           true,
+		GateStoreBuffer:    true,
+		AsyncPersist:       true,
+		RedoLogStores:      true,
+		LogFlushAtBoundary: true,
+		LogBufBytes:        32 << 10,
+		LogDrainCycles:     4,
+		SyncIsBoundary:     true,
+	}
+}
+
 // Persistent reports whether the scheme provides whole-system persistence
 // with crash consistency.
 func (c Config) Persistent() bool {
 	switch c.Kind {
-	case PPA, ReplayCache, Capri, SBGate:
+	case PPA, ReplayCache, Capri, SBGate, UndoLog, RedoTxn, HTPM:
 		return true
 	case EADR:
 		return true // persistent for its app-direct data, but PSP-scoped
@@ -236,8 +334,29 @@ func (c Config) Validate() error {
 	if c.GateStoreBuffer && !c.ValueCSQ {
 		return fmt.Errorf("persist: store-buffer gating requires value-bearing entries")
 	}
-	if c.GateStoreBuffer && !c.AsyncPersist {
+	if c.GateStoreBuffer && !c.AsyncPersist && !c.RedoLogStores {
 		return fmt.Errorf("persist: store-buffer gating flushes through the async persist path")
+	}
+	if c.UndoLogStores && c.RedoLogStores {
+		return fmt.Errorf("persist: choose one log discipline")
+	}
+	if (c.UndoLogStores || c.RedoLogStores) && c.LogBufBytes <= 0 {
+		return fmt.Errorf("persist: persist log requires a buffer size")
+	}
+	if c.LogFlushAtBoundary && !c.RedoLogStores {
+		return fmt.Errorf("persist: boundary log flush requires redo logging")
+	}
+	if c.UndoLogStores && !c.AsyncPersist {
+		return fmt.Errorf("persist: undo logging persists stores in place through the async path")
+	}
+	if c.UndoLogStores && c.GateStoreBuffer {
+		return fmt.Errorf("persist: undo logging updates in place; store gating contradicts it")
+	}
+	if c.UndoLogStores && c.DynamicRegions {
+		return fmt.Errorf("persist: undo logging requires commit-side (fixed or sync) boundaries")
+	}
+	if c.RedoLogStores && !c.GateStoreBuffer {
+		return fmt.Errorf("persist: redo logging gates stores until the commit marker")
 	}
 	return nil
 }

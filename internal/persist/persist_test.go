@@ -9,7 +9,8 @@ import (
 func TestDefaultsValidate(t *testing.T) {
 	for _, cfg := range []Config{
 		BaselineDefault(), PPADefault(), ReplayCacheDefault(),
-		CapriDefault(), EADRDefault(), DRAMOnlyDefault(),
+		CapriDefault(), EADRDefault(), DRAMOnlyDefault(), SBGateDefault(),
+		UndoLogDefault(), RedoTxnDefault(), HTPMDefault(),
 	} {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("%s: %v", cfg.Kind, err)
@@ -68,7 +69,7 @@ func TestSchemeProperties(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := Baseline; k <= DRAMOnly; k++ {
+	for k := Baseline; k <= HTPM; k++ {
 		if k.String() == "" {
 			t.Errorf("kind %d has empty string", int(k))
 		}

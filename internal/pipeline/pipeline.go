@@ -170,6 +170,7 @@ type Stats struct {
 	LQFullStalls      uint64
 	WBFullStalls      uint64 // commit blocked: write buffer full
 	RedoFullStalls    uint64 // commit blocked: redo buffer full
+	LogFullStalls     uint64 // commit blocked: persist-log buffer full
 	FrontendStalls    uint64 // branch redirects
 	SyncStalls        uint64
 
@@ -223,12 +224,14 @@ type robEntry struct {
 
 	addr     uint64
 	storeVal uint64
+	preVal   uint64         // memory word before this store (undo-log pre-image)
 	dataPhys rename.PhysRef // store data register (masked on commit)
 	srcPhys1 rename.PhysRef // for the mask-all-operands ablation
 	srcPhys2 rename.PhysRef
 
 	persistEnqueued bool
 	persistTok      int64
+	logEnqueued     bool
 
 	// regionStart marks the first instruction of a fixed-length compiler
 	// region (ReplayCache/Capri): it may not commit until the previous
@@ -242,6 +245,7 @@ type Core struct {
 	prog *isa.Program
 	hier *cache.Hierarchy
 	redo *persist.RedoPath // non-nil for Capri
+	plog *persist.LogPath  // non-nil for the log-based transaction schemes
 	ren  *rename.Renamer
 
 	rob     []robEntry
@@ -325,17 +329,34 @@ type Core struct {
 	sinkEv CommitEvent
 }
 
-// New builds a core over a program and a shared hierarchy. redo must be
-// non-nil iff the scheme uses the redo path.
-func New(cfg Config, prog *isa.Program, hier *cache.Hierarchy, redo *persist.RedoPath) (*Core, error) {
+// New builds a core over a program and a shared hierarchy. backend is the
+// scheme's dedicated persist machinery (persist.Scheme.NewBackend), nil when
+// the cache hierarchy's write path is the whole persist path. The core
+// resolves the backend's concrete type once here so the cycle loop works on
+// devirtualized pointers and stays allocation-free.
+func New(cfg Config, prog *isa.Program, hier *cache.Hierarchy, backend persist.Backend) (*Core, error) {
 	if err := cfg.Scheme.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Width <= 0 || cfg.ROBSize <= 0 {
 		return nil, fmt.Errorf("pipeline: width and ROB size must be positive")
 	}
+	var redo *persist.RedoPath
+	var plog *persist.LogPath
+	switch b := backend.(type) {
+	case nil:
+	case *persist.RedoPath:
+		redo = b
+	case *persist.LogPath:
+		plog = b
+	default:
+		return nil, fmt.Errorf("pipeline: unknown persist backend %T", backend)
+	}
 	if cfg.Scheme.UseRedoPath && redo == nil {
 		return nil, fmt.Errorf("pipeline: scheme %s requires a redo path", cfg.Scheme.Kind)
+	}
+	if (cfg.Scheme.UndoLogStores || cfg.Scheme.RedoLogStores) && plog == nil {
+		return nil, fmt.Errorf("pipeline: scheme %s requires a log path", cfg.Scheme.Kind)
 	}
 	csqCap := cfg.Scheme.CSQEntries
 	if csqCap <= 0 {
@@ -346,6 +367,7 @@ func New(cfg Config, prog *isa.Program, hier *cache.Hierarchy, redo *persist.Red
 		prog:       prog,
 		hier:       hier,
 		redo:       redo,
+		plog:       plog,
 		ren:        rename.New(cfg.Rename),
 		rob:        make([]robEntry, cfg.ROBSize),
 		sqReleases: make([]uint64, 0, cfg.SQSize),
@@ -552,6 +574,17 @@ func (c *Core) commitStore(e *robEntry, cycle uint64) bool {
 	// entry stays occupied the whole time: the pressure the paper warns
 	// about.
 	if sc.GateStoreBuffer {
+		// Redo-logging transaction schemes write the new value ahead to the
+		// persist log at commit (durable for RedoTxn, staged in the volatile
+		// hardware transaction buffer for HTPM); a full log buffer stalls
+		// commit like a full redo buffer.
+		if sc.RedoLogStores && !e.logEnqueued {
+			if !c.plog.TryAccept(c.cfg.CoreID, isa.WordAlign(e.addr), e.storeVal) {
+				c.st.LogFullStalls++
+				return false
+			}
+			e.logEnqueued = true
+		}
 		c.csq = append(c.csq, CSQEntry{
 			Addr:         isa.WordAlign(e.addr),
 			Val:          e.storeVal,
@@ -562,6 +595,16 @@ func (c *Core) commitStore(e *robEntry, cycle uint64) bool {
 		c.gatedSQ++
 		c.storesInROB--
 		return true
+	}
+
+	// Undo logging: the pre-image must be durable in the log before the
+	// in-place store may enter the persist path (write-ahead discipline).
+	if sc.UndoLogStores && !e.logEnqueued {
+		if !c.plog.TryAccept(c.cfg.CoreID, isa.WordAlign(e.addr), e.preVal) {
+			c.st.LogFullStalls++
+			return false
+		}
+		e.logEnqueued = true
 	}
 
 	// The persist path must accept the store before it can retire.
@@ -677,15 +720,37 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 		c.epochArmed = true
 		c.epochArmedAt = cycle
 		c.epochCSQMark = len(c.csq)
+		if c.plog != nil {
+			// Transaction commit on the log path. HTPM first flushes the
+			// staged volatile transaction buffer to the durable log
+			// (back-end log flush); the redo disciplines then append the
+			// region-commit marker, which for RedoTxn authorizes the
+			// region's logged values for lazy background image application.
+			// The marker is consistent by log order: stores log at commit
+			// and commit in program order, so the records ahead of the
+			// marker are exactly the stores committed before this instant —
+			// c.committed. Stores retiring during the wait log after it and
+			// roll back (or replay in the next region) at recovery.
+			if c.cfg.Scheme.LogFlushAtBoundary {
+				c.plog.FlushBuffered(c.cfg.CoreID)
+			}
+			if c.cfg.Scheme.RedoLogStores {
+				c.plog.AppendMarker(c.cfg.CoreID, c.committed)
+			}
+		}
 		if c.cfg.Scheme.GateStoreBuffer {
 			// The gated stores of the closing region merge into L1D and
 			// enter the persist path now, in one burst — the cost of
 			// gating: no background persistence overlapped the region.
+			// Schemes whose durable image is written by log replay rather
+			// than the accept stream (RedoTxn) skip the persist enqueue.
 			for i := 0; i < c.epochCSQMark; i++ {
 				en := &c.csq[i]
 				c.hier.StoreData(en.Addr, en.Val)
 				drainDone := c.hier.Access(c.cfg.CoreID, en.Addr, true, cycle)
-				c.hier.PersistStore(c.cfg.CoreID, en.Addr, en.Val, cycle)
+				if c.cfg.Scheme.AsyncPersist {
+					c.hier.PersistStore(c.cfg.CoreID, en.Addr, en.Val, cycle)
+				}
 				c.sqReleases = append(c.sqReleases, drainDone)
 				c.gatedSQ--
 			}
@@ -720,6 +785,15 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 		c.noteDrainWait(cycle)
 		return false
 	}
+	// The undo and staged disciplines wait out the log-write bandwidth: the
+	// boundary holds until the core's log records have drained the shared
+	// path. RedoTxn deliberately does not wait — its commit is cheap and the
+	// image application drains lazily in the background.
+	if (c.cfg.Scheme.UndoLogStores || c.cfg.Scheme.LogFlushAtBoundary) &&
+		c.plog.PendingOf(c.cfg.CoreID) > 0 {
+		c.noteDrainWait(cycle)
+		return false
+	}
 	// The full-drain ablation freezes the frontend while any boundary is
 	// armed (see renameStage) and, for rename-side boundaries, waits for
 	// the ROB to empty and every persist to complete. Commit-side
@@ -746,6 +820,15 @@ func (c *Core) tryEndRegion(cycle uint64, cause BoundaryCause) bool {
 	c.ren.ReclaimMaskedExcept(keep)
 	c.keepScratch = keep
 	c.csq = append(c.csq[:0], survivors...)
+
+	// Undo logging appends its region-commit marker only now, after the
+	// region's in-place stores and pre-image log writes are all durable:
+	// the marker asserts the pre-images ahead of it are dead. Undo
+	// boundaries are commit-side (Validate rejects DynamicRegions), so
+	// c.committed is exact — nothing committed during the wait.
+	if c.cfg.Scheme.UndoLogStores {
+		c.plog.AppendMarker(c.cfg.CoreID, c.committed)
+	}
 
 	c.closeRegionStats(cycle, cause, cycle-c.epochArmedAt)
 	c.epochArmed = false
@@ -1028,9 +1111,15 @@ func (c *Core) dispatch(in *isa.Inst, phys rename.PhysRef, src1, src2 rename.Phy
 		complete = ready + uint64(in.Op.ExecLatency())
 	}
 
-	// Advance the program-order functional oracle.
+	// Advance the program-order functional oracle. Undo logging captures the
+	// store's pre-image first: the golden memory at dispatch of instruction
+	// i holds exactly the state before i (dispatch is program-order), which
+	// neither the hierarchy nor the device can supply at commit time.
 	idx := c.next
-	var storeVal uint64
+	var storeVal, preVal uint64
+	if c.cfg.Scheme.UndoLogStores && in.Op.IsStore() {
+		preVal = c.front.Mem.ReadWord(isa.WordAlign(in.Addr))
+	}
 	nStores := len(c.front.StoreLog)
 	isa.StepGolden(c.front, in, idx)
 	if in.Op.IsStore() && len(c.front.StoreLog) > nStores {
@@ -1056,11 +1145,13 @@ func (c *Core) dispatch(in *isa.Inst, phys rename.PhysRef, src1, src2 rename.Phy
 	e.phys = phys
 	e.addr = in.Addr
 	e.storeVal = storeVal
+	e.preVal = preVal
 	e.dataPhys = rename.PhysRef{}
 	e.srcPhys1 = src1
 	e.srcPhys2 = src2
 	e.persistEnqueued = false
 	e.persistTok = 0
+	e.logEnqueued = false
 	e.regionStart = regionStart
 	if in.Op.IsStore() {
 		e.dataPhys = src1

@@ -98,6 +98,19 @@ func Recover(dev *nvm.Device, im *checkpoint.Image, prog *isa.Program) (*Outcome
 	return out, nil
 }
 
+// ValidateImage applies recovery's typed error taxonomy to an image without
+// replaying it. The log-based transaction schemes (UndoLog, RedoTxn, HTPM)
+// still validate the JIT dump — torn or corrupt checkpoints must surface as
+// detections — but reconstruct the image from their own persist logs, so the
+// checkpointed CSQ (which may hold an uncommitted region's stores) is never
+// replayed.
+func ValidateImage(im *checkpoint.Image) error {
+	if err := im.Validate(); err != nil {
+		return classify(err)
+	}
+	return nil
+}
+
 // RecoverObserved runs Recover and traces its phases on the hub: one
 // "recovery-replay" instant per core with the replayed word count and
 // resume index, stamped at atCycle (the crash cycle — recovery happens

@@ -168,13 +168,28 @@ func RunMutationCampaign(cc MutationCampaignConfig) (*MutationCampaignReport, er
 	}
 
 	// Baseline crash campaign: the unmutated simulator must survive every
-	// scheduled crash with a clean oracle and a consistent recovery.
+	// scheduled crash with a clean oracle and a consistent recovery — under
+	// the campaign scheme and under every scheme a seeded bug redirects to
+	// (the log-recovery bugs only execute under a log-based scheme).
 	rep.BaselineClean = true
-	for _, cycle := range rep.FailCycles {
-		if by, detail := crashTrial(rc, cycle); by != "" {
-			rep.BaselineClean = false
-			rep.BaselineDetail = fmt.Sprintf("false alarm at cycle %d (%s): %s", cycle, by, detail)
-			break
+	schemes := []Scheme{cc.Scheme}
+	seen := map[Scheme]bool{cc.Scheme: true}
+	for _, m := range mutation.All() {
+		if s := schemeForBug(m.String(), cc.Scheme); !seen[s] {
+			seen[s] = true
+			schemes = append(schemes, s)
+		}
+	}
+baseline:
+	for _, s := range schemes {
+		src := rc
+		src.Scheme = s
+		for _, cycle := range rep.FailCycles {
+			if by, detail := crashTrial(src, cycle); by != "" {
+				rep.BaselineClean = false
+				rep.BaselineDetail = fmt.Sprintf("false alarm at cycle %d under %s (%s): %s", cycle, s, by, detail)
+				break baseline
+			}
 		}
 	}
 	// Baseline litmus gate: the unmutated simulator must clear the
@@ -189,8 +204,10 @@ func RunMutationCampaign(cc MutationCampaignConfig) (*MutationCampaignReport, er
 
 	for _, m := range mutation.All() {
 		bug := SeededBug{ID: m.String(), Site: m.Site(), Description: m.Description()}
+		brc := rc
+		brc.Scheme = schemeForBug(bug.ID, cc.Scheme)
 		mutation.Enable(m)
-		out := probeMutation(rc, bug, rep.FailCycles)
+		out := probeMutation(brc, bug, rep.FailCycles)
 		mutation.Disable()
 		rep.Outcomes = append(rep.Outcomes, out)
 		rep.Total++
@@ -199,6 +216,21 @@ func RunMutationCampaign(cc MutationCampaignConfig) (*MutationCampaignReport, er
 		}
 	}
 	return rep, nil
+}
+
+// schemeForBug returns the scheme whose recovery path actually executes the
+// seeded bug, when the campaign's default scheme cannot reach it. The two
+// log-recovery bugs live in the transaction schemes' shared recovery
+// (internal/persist/logpath.go): replay-skips-last only fires on a redo
+// replay, rollback-after-commit only on an undo rollback.
+func schemeForBug(id string, def Scheme) Scheme {
+	switch id {
+	case "log-replay-skips-last-entry":
+		return SchemeRedoTxn
+	case "undo-applied-after-commit":
+		return SchemeUndoLog
+	}
+	return def
 }
 
 // probeMutation runs one seeded bug through the gauntlet and reports the

@@ -202,8 +202,8 @@ func TestRenamePartitionLiveMachine(t *testing.T) {
 // TestSeededBugRegistry sanity-checks the registry the gate iterates.
 func TestSeededBugRegistry(t *testing.T) {
 	bugs := SeededBugs()
-	if len(bugs) != 12 {
-		t.Fatalf("%d seeded bugs, want 12", len(bugs))
+	if len(bugs) != 14 {
+		t.Fatalf("%d seeded bugs, want 14", len(bugs))
 	}
 	seen := map[string]bool{}
 	for _, b := range bugs {

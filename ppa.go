@@ -48,12 +48,28 @@ const (
 	// SchemeSBGate is the Section 6 store-buffer-gating alternative PPA
 	// rejects; included to quantify that design discussion.
 	SchemeSBGate Scheme = "sb-gate"
+	// SchemeUndoLog is a software-flavored undo-logging scheme: pre-images
+	// are made durable in a per-core NVM log before stores persist in place,
+	// and recovery rolls uncommitted regions back to the last region-commit
+	// marker.
+	SchemeUndoLog Scheme = "undolog"
+	// SchemeRedoTxn is a redo-logging transaction scheme in the WrAP/Marathe
+	// style: stores gate in the store buffer, commit appends redo records,
+	// the region-commit marker authorizes lazy replay into the image, and
+	// recovery replays authorized regions only.
+	SchemeRedoTxn Scheme = "redotxn"
+	// SchemeHTPM is a hardware-transactional persistence scheme in the
+	// Giles/HTPM style: redo records stage in a volatile back-end buffer and
+	// flush to the durable log at region commit, before the marker seals the
+	// region.
+	SchemeHTPM Scheme = "htpm"
 )
 
 // Schemes lists every scheme name.
 func Schemes() []Scheme {
 	return []Scheme{SchemeBaseline, SchemePPA, SchemeReplayCache, SchemeCapri,
-		SchemeEADR, SchemeDRAMOnly, SchemeSBGate}
+		SchemeEADR, SchemeDRAMOnly, SchemeSBGate,
+		SchemeUndoLog, SchemeRedoTxn, SchemeHTPM}
 }
 
 // SchemeConfig resolves a scheme name to its full configuration.
@@ -73,6 +89,12 @@ func SchemeConfig(s Scheme) (persist.Config, error) {
 		return persist.DRAMOnlyDefault(), nil
 	case SchemeSBGate:
 		return persist.SBGateDefault(), nil
+	case SchemeUndoLog:
+		return persist.UndoLogDefault(), nil
+	case SchemeRedoTxn:
+		return persist.RedoTxnDefault(), nil
+	case SchemeHTPM:
+		return persist.HTPMDefault(), nil
 	default:
 		return persist.Config{}, fmt.Errorf("ppa: unknown scheme %q", s)
 	}
@@ -347,34 +369,67 @@ func RunWithFailure(rc RunConfig, failCycle uint64) (*FailureOutcome, error) {
 		out.CheckpointBytes += len(im.Encode())
 	}
 
-	// Recovery: replay each core's CSQ, then verify the contract.
+	// Recovery dispatches on the scheme's contract. Checkpoint-replay
+	// schemes replay each core's CSQ from the JIT dump; transaction schemes
+	// validate the dump (a torn checkpoint must still surface as a
+	// detection) but reconstruct the image from their own durable log,
+	// rolling back or replaying to each core's last region-commit marker.
 	hub := rc.Obs
 	if hub == nil {
 		hub = DefaultObs
 	}
+	scheme := persist.SchemeFor(sch)
+	contract := scheme.Contract()
 	committed := make([]int, len(images))
 	for i, im := range images {
-		prog := sys.Cores()[i].Program()
-		o, rerr := recovery.RecoverObserved(dev, im, prog, hub, sys.Cycle())
+		committed[i] = im.Committed
+	}
+	// resume is where each core restarts: the committed prefix for
+	// checkpoint-replay schemes, the last marker for transaction schemes.
+	resume := committed
+	if contract == persist.RecoverTxnBoundary {
+		for _, im := range images {
+			if verr := recovery.ValidateImage(im); verr != nil {
+				return nil, verr
+			}
+		}
+		points, rerr := scheme.Recover(dev, len(images))
 		if rerr != nil {
 			return nil, rerr
 		}
-		out.PerCore = append(out.PerCore, o)
-		committed[i] = im.Committed
+		resume = points
+		for i, im := range images {
+			prog := sys.Cores()[i].Program()
+			o := &recovery.Outcome{CoreID: im.CoreID, ResumeIndex: points[i]}
+			if points[i] > 0 && points[i] <= prog.Len() {
+				o.ResumePC = prog.Insts[points[i]-1].PC + 4
+			}
+			out.PerCore = append(out.PerCore, o)
+		}
+	} else {
+		for i, im := range images {
+			prog := sys.Cores()[i].Program()
+			o, rerr := recovery.RecoverObserved(dev, im, prog, hub, sys.Cycle())
+			if rerr != nil {
+				return nil, rerr
+			}
+			out.PerCore = append(out.PerCore, o)
+		}
 	}
 	out.Consistent = true
 	out.ArchConsistent = true
 	for i := range images {
 		prog := sys.Cores()[i].Program()
-		if n := recovery.CountInconsistencies(dev, prog, committed[i]); n > 0 {
+		if n := recovery.CountInconsistencies(dev, prog, resume[i]); n > 0 {
 			out.Consistent = false
 			out.Inconsistencies += n
 		}
 	}
 
-	// For schemes that checkpoint the CRT (PPA), the recovered committed
-	// register state must equal the golden in-order state too.
-	if sch.Kind == persist.PPA && !sch.ValueCSQ {
+	// For schemes that checkpoint the CRT (PPA with an index CSQ), the
+	// recovered committed register state must equal the golden in-order
+	// state too.
+	if scheme.VerifiesArchState() {
 		mc := multicore.DefaultConfig(len(images), sch)
 		if rc.Customize != nil {
 			rc.Customize(&mc)
@@ -390,14 +445,24 @@ func RunWithFailure(rc RunConfig, failCycle uint64) (*FailureOutcome, error) {
 		}
 	}
 
-	// The oracle's second opinion on recovery: the recovered NVM image must
-	// equal the golden model's memory at each core's committed prefix. Only
-	// PPA's recovery path promises that contract (comparison schemes are
-	// run to measure how badly they miss it), so the check gates on Kind.
-	if m := sys.Oracle(); m != nil && sch.Kind == persist.PPA {
-		out.OracleChecked = true
-		if oerr := m.CheckRecovered(dev.Image(), committed); oerr != nil {
-			out.OracleViolation = oerr.Error()
+	// The oracle's second opinion on recovery: for committed-prefix schemes
+	// the recovered NVM image must equal the golden model's memory at each
+	// core's committed prefix; for transaction schemes, at each core's own
+	// recovery point. Schemes with no contract (baseline, DRAM-only,
+	// ReplayCache) are run to measure how badly they miss it, so the oracle
+	// does not judge them.
+	if m := sys.Oracle(); m != nil {
+		switch contract {
+		case persist.RecoverCommittedPrefix:
+			out.OracleChecked = true
+			if oerr := m.CheckRecovered(dev.Image(), committed); oerr != nil {
+				out.OracleViolation = oerr.Error()
+			}
+		case persist.RecoverTxnBoundary:
+			out.OracleChecked = true
+			if oerr := m.CheckRecoveredAt(dev.Image(), resume); oerr != nil {
+				out.OracleViolation = oerr.Error()
+			}
 		}
 	}
 
@@ -406,7 +471,7 @@ func RunWithFailure(rc RunConfig, failCycle uint64) (*FailureOutcome, error) {
 	// program right after its LCPC on a fresh machine state (the caches are
 	// cold, as after a real outage).
 	dev.ClearCheckpoint()
-	resumed, err := resumeAfterFailure(prof, sch, insts, sys, committed, rc.Lockstep)
+	resumed, err := resumeAfterFailure(prof, sch, insts, sys, resume, rc.Lockstep)
 	if err != nil {
 		return nil, err
 	}

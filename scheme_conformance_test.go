@@ -1,0 +1,101 @@
+package ppa
+
+import (
+	"testing"
+
+	"ppa/internal/persist"
+)
+
+// TestSchemeConformanceMatrix is the cross-scheme conformance matrix: every
+// persistence scheme in the zoo runs the same three-leg gauntlet, with the
+// assertions keyed to the scheme's declared recovery contract rather than to
+// its name — a scheme added behind the PersistScheme interface is conformance
+// tested by construction.
+//
+//   - Leg 1: an uninterrupted lockstep run. The commit-stream oracle applies
+//     to every scheme; schemes whose image is built from the accept stream
+//     also get the final durable-image check.
+//
+//   - Leg 2: six crash points spread across the run, each recovered under
+//     the scheme's own protocol. Contract-carrying schemes (committed-prefix
+//     and transaction-boundary) must recover a consistent image, pass the
+//     oracle's independent recovered-image equality check, and resume to
+//     completion. Contract-free schemes (baseline, DRAM-only, ReplayCache)
+//     must still converge — recovery completes and the programs resume —
+//     but nothing is promised about the image, and the oracle must not
+//     judge them.
+//
+//   - Leg 3 (implicit in Leg 2): the resumed run re-attaches the lockstep
+//     oracle from the resume point, so post-recovery divergence surfaces as
+//     an error from RunWithFailure.
+func TestSchemeConformanceMatrix(t *testing.T) {
+	for _, s := range Schemes() {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			t.Parallel()
+			cfg, err := SchemeConfig(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			contract := persist.SchemeFor(cfg).Contract()
+			rc := RunConfig{App: "mcf", Scheme: s, InstsPerThread: 3000, Lockstep: true}
+
+			// Leg 1: lockstep-clean uninterrupted run.
+			res, err := Run(rc)
+			if err != nil {
+				t.Fatalf("clean lockstep run: %v", err)
+			}
+			if res.Cycles == 0 {
+				t.Fatal("no cycles simulated")
+			}
+
+			// Leg 2: six oracle-checked crash points across the run.
+			crashed := 0
+			for i := 1; i <= 6; i++ {
+				cycle := res.Cycles * uint64(i) / 8
+				if cycle == 0 {
+					cycle = 1
+				}
+				out, ferr := RunWithFailure(rc, cycle)
+				if ferr != nil {
+					t.Fatalf("crash at cycle %d: %v", cycle, ferr)
+				}
+				if out.CompletedBeforeFailure {
+					continue
+				}
+				crashed++
+				if out.ResumedResult == nil {
+					t.Fatalf("crash at cycle %d: recovery did not resume", cycle)
+				}
+				if len(out.PerCore) == 0 {
+					t.Fatalf("crash at cycle %d: no per-core recovery outcomes", cycle)
+				}
+				switch contract {
+				case persist.RecoverNone:
+					// Convergence only: the oracle must not have judged an
+					// image these schemes never promised.
+					if out.OracleChecked {
+						t.Fatalf("crash at cycle %d: oracle judged a contract-free scheme", cycle)
+					}
+				default:
+					if !out.Consistent {
+						t.Fatalf("crash at cycle %d: %d inconsistent words after recovery",
+							cycle, out.Inconsistencies)
+					}
+					if !out.ArchConsistent {
+						t.Fatalf("crash at cycle %d: recovered register state diverged", cycle)
+					}
+					if !out.OracleChecked {
+						t.Fatalf("crash at cycle %d: oracle recovery check did not engage", cycle)
+					}
+					if out.OracleViolation != "" {
+						t.Fatalf("crash at cycle %d: oracle violation: %s", cycle, out.OracleViolation)
+					}
+				}
+			}
+			if crashed == 0 {
+				t.Fatal("every crash point fell after workload completion; matrix exercised nothing")
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ppa/internal/multicore"
 	"ppa/internal/obs"
 	"ppa/internal/oracle"
+	"ppa/internal/persist"
 	"ppa/internal/recovery"
 	"ppa/internal/sweep"
 )
@@ -158,6 +159,15 @@ func tornEnergyUJ(param uint64, fullBytes int) float64 {
 // bugs) surface as the error; contract breaches surface in
 // Outcome.Violation.
 func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
+	_, sch, _, err := rc.resolve()
+	if err != nil {
+		return nil, err
+	}
+	scheme := persist.SchemeFor(sch)
+	// Transaction schemes recover from their own durable log, not the
+	// checkpointed CSQ, and their contract point is the last region-commit
+	// marker rather than the committed prefix.
+	txn := scheme.Contract() == persist.RecoverTxnBoundary
 	sys, err := NewSystem(rc)
 	if err != nil {
 		return nil, err
@@ -254,6 +264,7 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 		}
 	}
 	var images []*checkpoint.Image
+	var points []int
 	for {
 		out.RecoveryAttempts++
 		if out.RecoveryAttempts > nestedLeft+4 {
@@ -272,20 +283,30 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 			break
 		}
 		if nestedLeft > 0 {
-			// Power fails again mid-replay: apply only the first Param
-			// entries of each CSQ, then lose the machine and re-enter.
 			nestedLeft--
 			out.Injected = true
 			inj.Injected(p.Fault, p.Cycle)
-			for _, im := range images {
-				n := 0
-				if len(im.CSQ) > 0 {
-					n = int(p.Fault.Param % uint64(len(im.CSQ)+1))
-				}
-				if _, rerr := recovery.ReplayN(dev, im, n); rerr != nil {
+			if txn {
+				// Power fails again mid-recovery: log recovery is idempotent
+				// (truncate then roll back or replay), so the interrupted pass
+				// leaves a log the re-entered protocol handles from the top.
+				if _, rerr := scheme.Recover(dev, len(sys.Cores())); rerr != nil {
 					out.Detected = true
 					out.DetectedAs = rerr.Error()
-					break
+				}
+			} else {
+				// Power fails again mid-replay: apply only the first Param
+				// entries of each CSQ, then lose the machine and re-enter.
+				for _, im := range images {
+					n := 0
+					if len(im.CSQ) > 0 {
+						n = int(p.Fault.Param % uint64(len(im.CSQ)+1))
+					}
+					if _, rerr := recovery.ReplayN(dev, im, n); rerr != nil {
+						out.Detected = true
+						out.DetectedAs = rerr.Error()
+						break
+					}
 				}
 			}
 			if out.Detected {
@@ -294,10 +315,23 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 			continue
 		}
 		var rerr error
-		for _, im := range images {
-			prog := sys.Cores()[im.CoreID].Program()
-			if _, rerr = recovery.Recover(dev, im, prog); rerr != nil {
-				break
+		if txn {
+			// Validate the JIT dump (damage must surface as a detection) but
+			// reconstruct the image from the scheme's own durable log.
+			for _, im := range images {
+				if rerr = recovery.ValidateImage(im); rerr != nil {
+					break
+				}
+			}
+			if rerr == nil {
+				points, rerr = scheme.Recover(dev, len(sys.Cores()))
+			}
+		} else {
+			for _, im := range images {
+				prog := sys.Cores()[im.CoreID].Program()
+				if _, rerr = recovery.Recover(dev, im, prog); rerr != nil {
+					break
+				}
 			}
 		}
 		if rerr != nil {
@@ -324,24 +358,35 @@ func RunTorturePoint(rc RunConfig, p TorturePoint) (*TortureOutcome, error) {
 	case out.Recovered && out.Injected && p.Fault.Corrupting():
 		out.Violation = "silently recovered a corrupt checkpoint"
 	case out.Recovered:
-		// Verify the committed-prefix contract for every core.
+		// Verify the recovery contract for every core: NVM must hold the
+		// golden state at the committed prefix (checkpoint-replay schemes)
+		// or at the last region-commit marker (transaction schemes).
+		checkAt := make([]int, len(sys.Cores()))
 		for _, im := range images {
-			prog := sys.Cores()[im.CoreID].Program()
-			out.Inconsistencies += recovery.CountInconsistencies(dev, prog, im.Committed)
+			checkAt[im.CoreID] = im.Committed
+		}
+		if txn && points != nil {
+			checkAt = points
+		}
+		for id, at := range checkAt {
+			prog := sys.Cores()[id].Program()
+			out.Inconsistencies += recovery.CountInconsistencies(dev, prog, at)
 		}
 		if out.Inconsistencies > 0 {
 			out.Violation = fmt.Sprintf("committed-prefix violation: %d words lost", out.Inconsistencies)
 			break
 		}
 		// The oracle's independent verdict on the same recovery: the NVM
-		// image must equal the golden model's memory at each core's
-		// committed prefix, and the committed counts must agree.
+		// image must equal the golden model's memory at each core's contract
+		// point, and the recovery points must be prefixes the oracle checked.
 		if m := sys.Oracle(); m != nil {
-			committed := make([]int, len(sys.Cores()))
-			for _, im := range images {
-				committed[im.CoreID] = im.Committed
+			var oerr error
+			if txn {
+				oerr = m.CheckRecoveredAt(dev.Image(), checkAt)
+			} else {
+				oerr = m.CheckRecovered(dev.Image(), checkAt)
 			}
-			if oerr := m.CheckRecovered(dev.Image(), committed); oerr != nil {
+			if oerr != nil {
 				out.Violation = oerr.Error()
 				var de *oracle.DivergenceError
 				if errors.As(oerr, &de) {
